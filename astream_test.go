@@ -1,0 +1,119 @@
+package astream_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"astream"
+)
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng, err := astream.New(astream.Config{
+		Streams: 2, Parallelism: 2, BatchSize: 1,
+		BatchTimeout: time.Hour, WatermarkEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	joins, aggs := 0, 0
+	jid, ack, err := eng.SubmitSQL(
+		`SELECT * FROM A, B [RANGE 10] WHERE A.KEY = B.KEY AND A.F0 > 10`,
+		astream.SinkFunc(func(astream.Result) { mu.Lock(); joins++; mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ack
+	agg := astream.NewAggregation(astream.Sliding(10, 5), astream.AggSum, 1, astream.True())
+	_, ack2, err := eng.Submit(agg, astream.SinkFunc(func(astream.Result) { mu.Lock(); aggs++; mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ack2
+
+	for i := 1; i <= 60; i++ {
+		for s := 0; s < 2; s++ {
+			tu := astream.Tuple{Key: int64(i % 3), Time: astream.Time(i)}
+			tu.Fields[0] = int64(i % 40)
+			tu.Fields[1] = 2
+			if err := eng.Ingest(s, tu); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	stopAck, err := eng.StopQuery(jid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-stopAck
+	eng.Drain()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if joins == 0 || aggs == 0 {
+		t.Fatalf("results: joins=%d aggs=%d, want both > 0", joins, aggs)
+	}
+	if recs := eng.DeployRecords(); len(recs) != 3 {
+		t.Fatalf("deploy records = %d, want 3 (2 creates + 1 stop)", len(recs))
+	}
+}
+
+func TestPublicQueryBuilders(t *testing.T) {
+	c, err := astream.Field(2, ">=", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := astream.True().And(c).And(astream.KeyEquals(3))
+	sel := astream.NewSelection(p)
+	if sel.Kind != astream.KindSelection {
+		t.Fatal("selection kind")
+	}
+	j := astream.NewJoin(astream.Tumbling(10), astream.True(), astream.True())
+	if j.Kind != astream.KindJoin || j.Arity != 2 {
+		t.Fatal("join builder")
+	}
+	cx := astream.NewComplex(astream.Tumbling(8), astream.Tumbling(16), astream.AggCount, -1, astream.True(), astream.True())
+	if cx.Kind != astream.KindComplex {
+		t.Fatal("complex builder")
+	}
+	if _, err := astream.Field(99, ">", 1); err == nil {
+		t.Fatal("bad field must error")
+	}
+	if _, err := astream.Field(1, "><", 1); err == nil {
+		t.Fatal("bad op must error")
+	}
+	if _, err := astream.ParseQuery("SELECT nonsense"); err == nil {
+		t.Fatal("bad SQL must error")
+	}
+	q, err := astream.ParseQuery(`SELECT SUM(A.F0) FROM A [SESSION 5] GROUPBY A.KEY`)
+	if err != nil || q.Window.Gap != 5 {
+		t.Fatalf("session SQL: %v %+v", err, q)
+	}
+}
+
+func TestPublicBaseline(t *testing.T) {
+	be, err := astream.NewBaseline(astream.BaselineConfig{Streams: 1, Parallelism: 1, WatermarkEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	var mu sync.Mutex
+	q := astream.NewAggregation(astream.Tumbling(10), astream.AggCount, -1, astream.True())
+	_, ack, err := be.Submit(q, astream.SinkFunc(func(astream.Result) { mu.Lock(); n++; mu.Unlock() }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-ack
+	for i := 1; i <= 30; i++ {
+		if err := be.Ingest(0, astream.Tuple{Key: 1, Time: astream.Time(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	be.Drain()
+	mu.Lock()
+	defer mu.Unlock()
+	if n == 0 {
+		t.Fatal("baseline produced nothing via public API")
+	}
+}

@@ -1,0 +1,162 @@
+// Command astream-bench regenerates the paper's evaluation (Figures 9–20)
+// on the Go reproduction: each experiment prints the rows/series the paper
+// plots, for AStream and, where applicable, the query-at-a-time baseline.
+//
+// Usage:
+//
+//	astream-bench -exp all                 # every figure, quick scale
+//	astream-bench -exp fig9 -measure 3s    # one figure, longer steady state
+//	astream-bench -exp fig20 -nodes 1,2,4,8,16
+//
+// Absolute numbers are machine-dependent; the shapes are the result (see
+// EXPERIMENTS.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"astream/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|all")
+	warmup := flag.Duration("warmup", 300*time.Millisecond, "steady-state warmup per run")
+	measure := flag.Duration("measure", 700*time.Millisecond, "measurement window per run")
+	nodesFlag := flag.String("nodes", "4,8", "comma-separated simulated node counts")
+	maxQ := flag.Int("maxq", 256, "maximum query parallelism for fig17")
+	flag.Parse()
+
+	sc := experiments.Scale{Warmup: *warmup, Measure: *measure}
+	nodes := parseInts(*nodesFlag)
+
+	run := func(name string, fn func()) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		fmt.Printf("\n=== %s ===\n", name)
+		fn()
+	}
+
+	run("fig9", func() {
+		fmt.Println("Figure 9: slowest and overall data throughput, SC1 (AStream grid + single-query baseline)")
+		for _, m := range experiments.Fig9SC1Throughput(sc, nodes) {
+			fmt.Println(" ", m.Row())
+		}
+	})
+
+	run("fig10", func() {
+		fmt.Println("Figure 10: query deployment latency over time, 1 q/s up to 20 queries")
+		for _, sys := range []experiments.System{experiments.Baseline, experiments.AStream} {
+			fmt.Printf("  %s:\n", sys)
+			for _, pt := range experiments.Fig10DeployTimeline(sys, 20, sc) {
+				fmt.Printf("    query %2d: %v\n", pt.Ordinal, pt.Latency.Round(time.Microsecond))
+			}
+		}
+	})
+
+	sc1Lat := func(metric string) {
+		fmt.Printf("Figures 11/12: %s across the SC1 grid\n", metric)
+		for _, m := range experiments.Fig11And12SC1Latencies(sc, nodes) {
+			fmt.Println(" ", m.Row())
+		}
+	}
+	run("fig11", func() { sc1Lat("deployment latency") })
+	run("fig12", func() { sc1Lat("event-time latency") })
+
+	sc2 := func() {
+		fmt.Println("Figures 13/14/15: SC2 grid (latency, throughput, deployment)")
+		for _, m := range experiments.Fig13To15SC2(sc, nodes) {
+			fmt.Println(" ", m.Row())
+		}
+	}
+	run("fig13", sc2)
+	run("fig14", sc2)
+	run("fig15", sc2)
+
+	run("fig16", func() {
+		fmt.Println("Figure 16: complex-query timeline (throughput / latency / query count per phase)")
+		for i, pt := range experiments.Fig16Timeline(sc) {
+			fmt.Printf("  phase %d (t=%6s): %9.0f tup/s  lat=%6.1fms  queries=%d\n",
+				i+1, pt.At.Round(time.Millisecond), pt.Throughput, pt.LatencyMS, pt.Queries)
+		}
+	})
+
+	run("fig17", func() {
+		fmt.Println("Figure 17: slowest throughput vs query parallelism (log sweep)")
+		for _, kind := range []experiments.QueryKind{experiments.JoinK, experiments.AggK} {
+			for _, n := range nodes {
+				for _, m := range experiments.Fig17ParallelismSweep(sc, kind, n, *maxQ) {
+					fmt.Println(" ", m.Row())
+				}
+			}
+		}
+	})
+
+	run("fig18", func() {
+		fmt.Println("Figure 18a: component share of AStream overhead vs query parallelism")
+		for _, s := range experiments.Fig18ComponentOverhead(sc, []int{8, 64, 256}) {
+			fmt.Printf("  %4d queries: query-set %4.1f%%  bitset %4.1f%%  router-copy %4.1f%%  (total %.2f%% of budget)\n",
+				s.Queries, 100*s.QuerySetGen, 100*s.Bitset, 100*s.RouterC, 100*s.TotalShare)
+		}
+		fmt.Println("Figure 18b: single-query sharing overhead (AStream vs baseline)")
+		for _, kind := range []experiments.QueryKind{experiments.JoinK, experiments.AggK} {
+			a, b, ov := experiments.Fig18bSingleQueryOverhead(sc, kind)
+			fmt.Printf("  %-5s astream %9.0f tup/s  baseline %9.0f tup/s  overhead %5.1f%%\n",
+				kind, a.SlowestTupS, b.SlowestTupS, 100*ov)
+		}
+	})
+
+	run("fig19", func() {
+		fmt.Println("Figure 19: effect of ad-hoc join queries on existing long-running ones")
+		for _, scen := range []string{"SC1", "SC2"} {
+			for _, pt := range experiments.Fig19Impact(sc, scen, []int{10, 50, 100}, []int{0, 10, 20, 50}) {
+				fmt.Printf("  %dq %s +%2d ad-hoc: before %9.0f tup/s  after %9.0f tup/s\n",
+					pt.LongRunning, pt.Scenario, pt.AdHoc, pt.BeforeTupS, pt.AfterTupS)
+			}
+		}
+	})
+
+	run("fig20", func() {
+		fmt.Println("Figure 20: sustainable ad-hoc queries vs node count (fixed offered rate)")
+		counts := []int{25, 50, 100, 200, 400}
+		for _, scen := range []string{"SC1", "SC2"} {
+			for _, pt := range experiments.Fig20Scalability(sc, scen, nodes, counts, 10000) {
+				fmt.Printf("  %2d nodes %s: sustains %d queries\n", pt.Nodes, pt.Scenario, pt.Sustained)
+			}
+		}
+	})
+
+	if *exp != "all" {
+		switch *exp {
+		case "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20":
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+	}
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			fmt.Fprintf(os.Stderr, "bad node count %q\n", f)
+			os.Exit(2)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

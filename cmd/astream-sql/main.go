@@ -1,0 +1,165 @@
+// Command astream-sql is an interactive shell over the shared engine:
+// submit and stop SQL queries ad hoc while a generated stream flows, and
+// watch per-query results arrive.
+//
+// Commands (one per line on stdin):
+//
+//	SELECT ...            submit a query (paper templates; see README)
+//	stop <id>             stop a running query
+//	rate <tuples/sec>     change the generated input rate (default 10000)
+//	stats                 print engine counters
+//	quit                  drain and exit
+//
+// Example session:
+//
+//	$ astream-sql
+//	> SELECT SUM(A.F0) FROM A [RANGE 2000] WHERE A.F1 > 500 GROUPBY A.KEY
+//	query 1 deployed
+//	[q1] w=[2000,4000) key=17 value=8943
+//	> stop 1
+//	query 1 stopped
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"astream"
+	"astream/internal/gen"
+)
+
+func main() {
+	streams := flag.Int("streams", 2, "number of input streams (A, B, …)")
+	parallelism := flag.Int("parallelism", 2, "operator parallelism")
+	results := flag.Int("results", 5, "print at most this many results per query per second")
+	flag.Parse()
+
+	eng, err := astream.New(astream.Config{
+		Streams:     *streams,
+		Parallelism: *parallelism,
+		BatchSize:   1,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var rate atomic.Int64
+	rate.Store(10000)
+	stop := make(chan struct{})
+	go pump(eng, *streams, &rate, stop)
+
+	fmt.Printf("astream-sql: %d streams, parallelism %d. Type SQL, 'stop <id>', 'rate <n>', 'stats', 'quit'.\n",
+		*streams, *parallelism)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == "quit" || line == "exit":
+			close(stop)
+			eng.Drain()
+			return
+		case line == "stats":
+			m := eng.Metrics()
+			fmt.Printf("selected=%d dropped=%d joined=%d agg-rows=%d pairs=%d reused=%d active-queries=%d\n",
+				atomic.LoadUint64(&m.Selected), atomic.LoadUint64(&m.Dropped),
+				atomic.LoadUint64(&m.JoinedOut), atomic.LoadUint64(&m.AggOut),
+				atomic.LoadUint64(&m.PairsDone), atomic.LoadUint64(&m.PairsReuse),
+				eng.ActiveQueries())
+		case strings.HasPrefix(line, "rate "):
+			if n, err := strconv.ParseInt(strings.TrimSpace(line[5:]), 10, 64); err == nil && n > 0 {
+				rate.Store(n)
+				fmt.Printf("rate set to %d tuples/sec/stream\n", n)
+			} else {
+				fmt.Println("usage: rate <tuples/sec>")
+			}
+		case strings.HasPrefix(line, "stop "):
+			id, err := strconv.Atoi(strings.TrimSpace(line[5:]))
+			if err != nil {
+				fmt.Println("usage: stop <id>")
+				break
+			}
+			ack, err := eng.StopQuery(id)
+			if err != nil {
+				fmt.Println(err)
+				break
+			}
+			<-ack
+			fmt.Printf("query %d stopped\n", id)
+		default:
+			submit(eng, line, *results)
+		}
+		fmt.Print("> ")
+	}
+	close(stop)
+	eng.Drain()
+}
+
+func submit(eng *astream.Engine, sql string, perSec int) {
+	var printed atomic.Int64
+	var windowStart atomic.Int64
+	sink := astream.SinkFunc(func(r astream.Result) {
+		nowSec := time.Now().Unix()
+		if windowStart.Swap(nowSec) != nowSec {
+			printed.Store(0)
+		}
+		if printed.Add(1) > int64(perSec) {
+			return
+		}
+		switch r.Kind {
+		case astream.KindJoin:
+			fmt.Printf("\n[q%d] join w=%v key=%d left=%v right=%v\n> ", r.QueryID, r.Window, r.Join.Key, r.Join.Left, r.Join.Right)
+		case astream.KindSelection:
+			fmt.Printf("\n[q%d] tuple key=%d fields=%v\n> ", r.QueryID, r.Tuple.Key, r.Tuple.Fields)
+		default:
+			fmt.Printf("\n[q%d] w=%v key=%d value=%d\n> ", r.QueryID, r.Window, r.Key, r.Value)
+		}
+	})
+	id, ack, err := eng.SubmitSQL(sql, sink)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	<-ack
+	fmt.Printf("query %d deployed\n", id)
+}
+
+// pump feeds generated tuples with wall-clock event times.
+func pump(eng *astream.Engine, streams int, rate *atomic.Int64, stop chan struct{}) {
+	gens := make([]*gen.Data, streams)
+	for i := range gens {
+		gens[i] = gen.NewData(gen.DefaultDataConfig(), int64(i)+1)
+	}
+	start := time.Now()
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		r := rate.Load()
+		batch := int(r / 100)
+		if batch < 1 {
+			batch = 1
+		}
+		at := astream.Time(time.Since(start).Milliseconds())
+		for i := 0; i < batch; i++ {
+			for s := 0; s < streams; s++ {
+				t := gens[s].Next(at)
+				t.IngestNanos = time.Now().UnixNano()
+				if err := eng.Ingest(s, t); err != nil {
+					return
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,114 @@
+// Gaming reproduces the paper's motivating example (§1.1, Figure 1): an
+// online-gaming platform with an advertisement stream A and a purchases
+// stream P, serving ad-hoc analytics queries from different teams.
+//
+// Field conventions for this example:
+//
+//	A.F0 = ad price      A.F1 = ad length   A.F2 = geo code (49 = DE)
+//	P.F0 = pack price    P.F1 = buyer age   P.F2 = buyer level (900+ = pro)
+//
+// Three queries share one topology:
+//
+//	Q1 (marketing, short-lived):  σ_geo=DE(A) ⋈ σ_price>50(P)
+//	Q2 (psychology, long-lived):  σ_length>60(A) ⋈ σ_age<18(P)
+//	Q3 (system, session-based):   σ_price>10(A) ⋈ σ_level=pro(P)
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+
+	"astream"
+)
+
+const (
+	adsStream       = 0
+	purchasesStream = 1
+	geoDE           = 49
+)
+
+func main() {
+	eng, err := astream.New(astream.Config{Streams: 2, Parallelism: 2, BatchSize: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	counts := map[string]*uint64{}
+	sink := func(name string) astream.Sink {
+		var n uint64
+		counts[name] = &n
+		return astream.SinkFunc(func(r astream.Result) { atomic.AddUint64(&n, 1) })
+	}
+
+	submit := func(name, sql string) int {
+		id, ack, err := eng.SubmitSQL(sql, sink(name))
+		if err != nil {
+			panic(fmt.Sprintf("%s: %v", name, err))
+		}
+		<-ack
+		fmt.Printf("%-28s deployed as query %d\n", name, id)
+		return id
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	now := int64(0)
+	play := func(ticks int) {
+		for i := 0; i < ticks; i++ {
+			now++
+			ad := astream.Tuple{Key: rng.Int63n(20), Time: astream.Time(now)}
+			ad.Fields[0] = rng.Int63n(100) // price
+			ad.Fields[1] = rng.Int63n(120) // length
+			ad.Fields[2] = int64(40 + rng.Intn(20))
+			if err := eng.Ingest(adsStream, ad); err != nil {
+				panic(err)
+			}
+			p := astream.Tuple{Key: rng.Int63n(20), Time: astream.Time(now)}
+			p.Fields[0] = rng.Int63n(100)       // pack price
+			p.Fields[1] = 10 + rng.Int63n(40)   // age
+			p.Fields[2] = 800 + rng.Int63n(250) // level
+			if err := eng.Ingest(purchasesStream, p); err != nil {
+				panic(err)
+			}
+		}
+	}
+
+	// Pre-scheduled start: the psychology team's long-running Q2.
+	submit("Q2 psychology (age<18)",
+		`SELECT * FROM A, P [RANGE 40] [SLIDE 20]
+		 WHERE A.KEY = P.KEY AND A.F1 > 60 AND P.F1 < 18`)
+	play(100)
+
+	// Ad-hoc start: marketing's short-lived Q1.
+	q1 := submit("Q1 marketing (DE, price>50)",
+		fmt.Sprintf(`SELECT * FROM A, P [RANGE 30]
+		 WHERE A.KEY = P.KEY AND A.F2 = %d AND P.F0 > 50`, geoDE))
+	play(400)
+
+	// Ad-hoc end: marketing got its numbers.
+	ack, err := eng.StopQuery(q1)
+	if err != nil {
+		panic(err)
+	}
+	<-ack
+	fmt.Println("Q1 stopped (ad-hoc end)")
+
+	// Session-triggered start: monitor pro players' purchase loyalty.
+	q3 := submit("Q3 pro-loyalty (session)",
+		`SELECT * FROM A, P [RANGE 25]
+		 WHERE A.KEY = P.KEY AND A.F0 > 10 AND P.F2 >= 900`)
+	play(200)
+	ack3, _ := eng.StopQuery(q3)
+	<-ack3
+	fmt.Println("Q3 stopped (session ended)")
+	play(50)
+
+	eng.Drain()
+	fmt.Println()
+	for name, n := range counts {
+		fmt.Printf("%-28s %6d join results\n", name, atomic.LoadUint64(n))
+	}
+	m := eng.Metrics()
+	fmt.Printf("\nshared work: %d slice pairs joined, %d reused from cache\n",
+		atomic.LoadUint64(&m.PairsDone), atomic.LoadUint64(&m.PairsReuse))
+}

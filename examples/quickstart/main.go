@@ -1,0 +1,70 @@
+// Quickstart: one input stream, two ad-hoc windowed aggregations sharing
+// the same deployed topology. The second query is created mid-stream and
+// the first is stopped mid-stream — no topology change either time.
+package main
+
+import (
+	"fmt"
+
+	"astream"
+)
+
+func main() {
+	eng, err := astream.New(astream.Config{Streams: 1, Parallelism: 2, BatchSize: 1})
+	if err != nil {
+		panic(err)
+	}
+
+	// Query 1: per-key SUM of field 0 over tumbling 10-tick windows, for
+	// tuples with field 1 > 500.
+	pred := astream.True()
+	c, _ := astream.Field(1, ">", 500)
+	pred = pred.And(c)
+	q1 := astream.NewAggregation(astream.Tumbling(10), astream.AggSum, 0, pred)
+	id1, ack, err := eng.Submit(q1, printSink("sum"))
+	if err != nil {
+		panic(err)
+	}
+	<-ack
+	fmt.Printf("deployed query %d (SUM, f1 > 500)\n", id1)
+
+	ingest := func(from, to int) {
+		for i := from; i <= to; i++ {
+			t := astream.Tuple{Key: int64(i % 3), Time: astream.Time(i)}
+			t.Fields[0] = int64(i)
+			t.Fields[1] = int64((i * 37) % 1000)
+			if err := eng.Ingest(0, t); err != nil {
+				panic(err)
+			}
+		}
+	}
+	ingest(1, 40)
+
+	// Ad-hoc: add a COUNT query via SQL while the stream is running.
+	id2, ack2, err := eng.SubmitSQL(
+		`SELECT COUNT(*) FROM A [RANGE 20] GROUPBY A.KEY`, printSink("count"))
+	if err != nil {
+		panic(err)
+	}
+	<-ack2
+	fmt.Printf("deployed query %d (COUNT, ad hoc)\n", id2)
+	ingest(41, 80)
+
+	// Ad-hoc: stop the first query; the second keeps running.
+	stopAck, err := eng.StopQuery(id1)
+	if err != nil {
+		panic(err)
+	}
+	<-stopAck
+	fmt.Printf("stopped query %d\n", id1)
+	ingest(81, 120)
+
+	eng.Drain()
+	fmt.Println("drained")
+}
+
+func printSink(name string) astream.Sink {
+	return astream.SinkFunc(func(r astream.Result) {
+		fmt.Printf("  [%s q%d] window=%v key=%d value=%d\n", name, r.QueryID, r.Window, r.Key, r.Value)
+	})
+}

@@ -1,0 +1,3 @@
+module astream
+
+go 1.22

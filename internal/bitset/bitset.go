@@ -1,0 +1,408 @@
+// Package bitset implements the dynamic bitsets that carry AStream's
+// query-sets and changelog-sets (paper §2.1).
+//
+// A query-set records, for one tuple, which of the currently-registered
+// queries are interested in it: bit i is set when the query occupying slot i
+// selects the tuple. A changelog-set records which slots survived a workload
+// change: bit i is set when slot i holds the same query on both sides of the
+// change. Both are plain bit vectors; all shared-operator decisions reduce to
+// word-parallel AND/OR operations on them.
+//
+// Bits is a value type backed by a []uint64. The zero value is an empty set.
+// Mutating methods have pointer receivers and grow the backing slice on
+// demand; query methods tolerate any length difference by treating missing
+// words as zero.
+package bitset
+
+import (
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bits is a variable-length bit vector. The zero value is empty and ready to
+// use.
+type Bits struct {
+	words []uint64
+}
+
+// New returns a set with capacity for at least n bits pre-allocated. The set
+// is empty; n only sizes the backing storage.
+func New(n int) Bits {
+	if n <= 0 {
+		return Bits{}
+	}
+	return Bits{words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromWords constructs a set from raw 64-bit words, least-significant word
+// first. The slice is copied.
+func FromWords(words []uint64) Bits {
+	b := Bits{words: make([]uint64, len(words))}
+	copy(b.words, words)
+	b.trim()
+	return b
+}
+
+// FromIndexes returns a set with exactly the given bits set.
+func FromIndexes(idx ...int) Bits {
+	var b Bits
+	for _, i := range idx {
+		b.Set(i)
+	}
+	return b
+}
+
+// Words returns a copy of the backing words, least-significant first, with
+// trailing zero words removed.
+func (b Bits) Words() []uint64 {
+	w := make([]uint64, len(b.words))
+	copy(w, b.words)
+	for len(w) > 0 && w[len(w)-1] == 0 {
+		w = w[:len(w)-1]
+	}
+	return w
+}
+
+func (b *Bits) grow(words int) {
+	if len(b.words) >= words {
+		return
+	}
+	if cap(b.words) >= words {
+		b.words = b.words[:words]
+		return
+	}
+	nw := make([]uint64, words)
+	copy(nw, b.words)
+	b.words = nw
+}
+
+func (b *Bits) trim() {
+	for len(b.words) > 0 && b.words[len(b.words)-1] == 0 {
+		b.words = b.words[:len(b.words)-1]
+	}
+}
+
+// Set sets bit i. Negative indexes panic.
+func (b *Bits) Set(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i / wordBits
+	b.grow(w + 1)
+	b.words[w] |= 1 << uint(i%wordBits)
+}
+
+// Clear clears bit i. Clearing a bit beyond the current length is a no-op.
+func (b *Bits) Clear(i int) {
+	if i < 0 {
+		panic("bitset: negative index")
+	}
+	w := i / wordBits
+	if w >= len(b.words) {
+		return
+	}
+	b.words[w] &^= 1 << uint(i%wordBits)
+	b.trim()
+}
+
+// SetTo sets bit i to v.
+func (b *Bits) SetTo(i int, v bool) {
+	if v {
+		b.Set(i)
+	} else {
+		b.Clear(i)
+	}
+}
+
+// Test reports whether bit i is set. Out-of-range bits read as false.
+func (b Bits) Test(i int) bool {
+	if i < 0 {
+		return false
+	}
+	w := i / wordBits
+	if w >= len(b.words) {
+		return false
+	}
+	return b.words[w]&(1<<uint(i%wordBits)) != 0
+}
+
+// IsEmpty reports whether no bit is set.
+func (b Bits) IsEmpty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Len returns one past the index of the highest set bit, or 0 for an empty
+// set.
+func (b Bits) Len() int {
+	for i := len(b.words) - 1; i >= 0; i-- {
+		if b.words[i] != 0 {
+			return i*wordBits + bits.Len64(b.words[i])
+		}
+	}
+	return 0
+}
+
+// Clone returns an independent copy.
+func (b Bits) Clone() Bits {
+	return FromWords(b.words)
+}
+
+// Reset clears every bit while retaining the backing storage.
+func (b *Bits) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+	b.words = b.words[:0]
+}
+
+// Equal reports whether b and o contain the same bits, regardless of backing
+// length.
+func (b Bits) Equal(o Bits) bool {
+	n := len(b.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.word(i) != o.word(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (b Bits) word(i int) uint64 {
+	if i >= len(b.words) {
+		return 0
+	}
+	return b.words[i]
+}
+
+// And returns the intersection b ∩ o. This is the core query-set operation:
+// two tuples are joined only when their query-sets intersect (paper §2.1.1).
+func (b Bits) And(o Bits) Bits {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	out := Bits{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = b.words[i] & o.words[i]
+	}
+	out.trim()
+	return out
+}
+
+// AndInPlace replaces b with b ∩ o, avoiding allocation.
+func (b *Bits) AndInPlace(o Bits) {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		b.words[i] &= o.words[i]
+	}
+	for i := n; i < len(b.words); i++ {
+		b.words[i] = 0
+	}
+	b.trim()
+}
+
+// Or returns the union b ∪ o.
+func (b Bits) Or(o Bits) Bits {
+	n := len(b.words)
+	if len(o.words) > n {
+		n = len(o.words)
+	}
+	out := Bits{words: make([]uint64, n)}
+	for i := 0; i < n; i++ {
+		out.words[i] = b.word(i) | o.word(i)
+	}
+	out.trim()
+	return out
+}
+
+// OrInPlace replaces b with b ∪ o.
+func (b *Bits) OrInPlace(o Bits) {
+	b.grow(len(o.words))
+	for i := range o.words {
+		b.words[i] |= o.words[i]
+	}
+	b.trim()
+}
+
+// AndNot returns b \ o.
+func (b Bits) AndNot(o Bits) Bits {
+	out := Bits{words: make([]uint64, len(b.words))}
+	for i := range b.words {
+		out.words[i] = b.words[i] &^ o.word(i)
+	}
+	out.trim()
+	return out
+}
+
+// AndNotInPlace replaces b with b \ o.
+func (b *Bits) AndNotInPlace(o Bits) {
+	for i := range b.words {
+		b.words[i] &^= o.word(i)
+	}
+	b.trim()
+}
+
+// Intersects reports whether b ∩ o is non-empty without materialising the
+// intersection. Shared operators use this as the cheap "do these tuples share
+// at least one query?" test.
+func (b Bits) Intersects(o Bits) bool {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	for i := 0; i < n; i++ {
+		if b.words[i]&o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// CountAnd returns |b ∩ o| without materialising the intersection.
+func (b Bits) CountAnd(o Bits) int {
+	n := len(b.words)
+	if len(o.words) < n {
+		n = len(o.words)
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		c += bits.OnesCount64(b.words[i] & o.words[i])
+	}
+	return c
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1 when no
+// such bit exists.
+func (b Bits) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	w := i / wordBits
+	if w >= len(b.words) {
+		return -1
+	}
+	word := b.words[w] >> uint(i%wordBits)
+	if word != 0 {
+		return i + bits.TrailingZeros64(word)
+	}
+	for w++; w < len(b.words); w++ {
+		if b.words[w] != 0 {
+			return w*wordBits + bits.TrailingZeros64(b.words[w])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order. fn returning false
+// stops the iteration.
+func (b Bits) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			tz := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + tz) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Indexes returns the set bit positions in ascending order.
+func (b Bits) Indexes() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}
+
+// Key returns a comparable representation of the set, usable as a map key.
+// Two sets have equal keys iff Equal reports true.
+func (b Bits) Key() string {
+	bb := b
+	n := len(bb.words)
+	for n > 0 && bb.words[n-1] == 0 {
+		n--
+	}
+	buf := make([]byte, n*8)
+	for i := 0; i < n; i++ {
+		w := bb.words[i]
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> uint(8*j))
+		}
+	}
+	return string(buf)
+}
+
+// String renders the set in the paper's convention: slot 0 (query index 1)
+// leftmost. An empty set renders as "0".
+func (b Bits) String() string {
+	n := b.Len()
+	if n == 0 {
+		return "0"
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		if b.Test(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Parse parses the String representation (slot 0 leftmost). Characters other
+// than '0' and '1' are rejected.
+func Parse(s string) (Bits, bool) {
+	var b Bits
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '1':
+			b.Set(i)
+		case '0':
+		default:
+			return Bits{}, false
+		}
+	}
+	return b, true
+}
+
+// AllUpTo returns a set with bits [0,n) all set. Changelog-sets start from
+// this "everything unchanged" state before deletions and reuses unset bits.
+func AllUpTo(n int) Bits {
+	b := New(n)
+	for w := 0; w < n/wordBits; w++ {
+		b.grow(w + 1)
+		b.words[w] = ^uint64(0)
+	}
+	if rem := n % wordBits; rem > 0 {
+		w := n / wordBits
+		b.grow(w + 1)
+		b.words[w] = (1 << uint(rem)) - 1
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"astream/internal/core"
+	"astream/internal/event"
+)
+
+// Manifest records where checkpoints cut the log: Offsets[i] is the number
+// of log records covered by checkpoint i+1 (barrier IDs start at 1). A
+// recovered runner re-cuts the log at the same offsets, which makes epoch
+// contents deterministic across incarnations.
+type Manifest struct {
+	Offsets []int
+}
+
+// snapCollector counts per-barrier snapshot callbacks to detect completion.
+type snapCollector struct {
+	mu    sync.Mutex
+	seen  map[uint64]int
+	total int
+	cond  *sync.Cond
+}
+
+func newSnapCollector() *snapCollector {
+	c := &snapCollector{seen: map[uint64]int{}}
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// OnSnapshot implements spe.SnapshotSink.
+func (c *snapCollector) OnSnapshot(op string, instance int, barrier uint64, state []byte) {
+	c.mu.Lock()
+	c.seen[barrier]++
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+func (c *snapCollector) await(barrier uint64, total int) {
+	c.mu.Lock()
+	for c.seen[barrier] < total {
+		c.cond.Wait()
+	}
+	c.mu.Unlock()
+}
+
+// Runner drives a core.Engine while logging every input, cutting
+// checkpoints, and committing result epochs transactionally. All methods
+// must be called from one goroutine (the ingestion loop), which is what
+// makes checkpoint positions quiescent points: no input enters the engine
+// between barrier injection and completion, so an epoch's results are
+// exactly the results of its log range.
+type Runner struct {
+	cfg      core.Config
+	eng      *core.Engine
+	log      *Log
+	sink     *TxSink
+	snaps    *snapCollector
+	manifest Manifest
+	ordinals []int // created query IDs, by submit order
+	barrier  uint64
+	crashed  bool
+}
+
+// NewRunner builds an engine wired for checkpointing.
+func NewRunner(cfg core.Config, log *Log, sink *TxSink) (*Runner, error) {
+	snaps := newSnapCollector()
+	cfg.SnapshotSink = snaps
+	// Deterministic session behaviour: one changelog per request, no timer.
+	cfg.BatchSize = 1
+	cfg.BatchTimeout = time.Hour
+	eng, err := core.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{cfg: cfg, eng: eng, log: log, sink: sink, snaps: snaps}, nil
+}
+
+// Engine exposes the underlying engine (metrics, etc.).
+func (r *Runner) Engine() *core.Engine { return r.eng }
+
+// Manifest returns the checkpoint manifest so far.
+func (r *Runner) Manifest() Manifest {
+	m := Manifest{Offsets: make([]int, len(r.manifest.Offsets))}
+	copy(m.Offsets, r.manifest.Offsets)
+	return m
+}
+
+// Submit logs and submits a query creation.
+func (r *Runner) Submit(q *core.Query) error {
+	r.log.Append(Record{Kind: RecSubmit, Query: q})
+	return r.applySubmit(q)
+}
+
+func (r *Runner) applySubmit(q *core.Query) error {
+	id, ack, err := r.eng.Submit(q, r.sink)
+	if err != nil {
+		return err
+	}
+	<-ack
+	r.ordinals = append(r.ordinals, id)
+	return nil
+}
+
+// StopOrdinal logs and applies a stop of the n-th created query (1-based).
+func (r *Runner) StopOrdinal(ord int) error {
+	r.log.Append(Record{Kind: RecStop, Ordinal: ord})
+	return r.applyStop(ord)
+}
+
+func (r *Runner) applyStop(ord int) error {
+	if ord < 1 || ord > len(r.ordinals) {
+		return fmt.Errorf("checkpoint: no query ordinal %d", ord)
+	}
+	ack, err := r.eng.StopQuery(r.ordinals[ord-1])
+	if err != nil {
+		return err
+	}
+	<-ack
+	return nil
+}
+
+// Ingest logs and pushes one tuple.
+func (r *Runner) Ingest(stream int, t event.Tuple) error {
+	r.log.Append(Record{Kind: RecTuple, Stream: stream, Tuple: t})
+	return r.eng.Ingest(stream, t)
+}
+
+// Checkpoint cuts a checkpoint: injects an aligned barrier, waits until
+// every operator instance has passed it (at which point every result of the
+// current epoch has been delivered), then commits the epoch and opens the
+// next one.
+func (r *Runner) Checkpoint() uint64 {
+	r.barrier++
+	id := r.barrier
+	r.eng.Checkpoint(id)
+	r.snaps.await(id, r.eng.InstanceCount())
+	r.sink.Commit(id - 1)
+	r.sink.BeginEpoch(id)
+	r.manifest.Offsets = append(r.manifest.Offsets, r.log.Len())
+	return id
+}
+
+// Crash abandons the engine, simulating a process failure: buffered,
+// uncommitted results are lost; the log and the committed epochs survive.
+func (r *Runner) Crash() map[uint64][]string {
+	r.crashed = true
+	// Drain in the background so goroutines exit; results it produces go
+	// to pending epochs that will never commit — exactly what a crash
+	// loses.
+	go r.eng.Drain()
+	return r.sink.CommittedEpochs()
+}
+
+// Finish drains the engine and commits the final epoch.
+func (r *Runner) Finish() []string {
+	if r.crashed {
+		return nil
+	}
+	r.eng.Drain()
+	r.sink.Commit(^uint64(0))
+	return r.sink.Committed()
+}
+
+// Recover rebuilds an engine from the log and replays it. Epochs already
+// committed by the crashed incarnation are deduplicated; the rest commit as
+// replay crosses the manifest's checkpoint positions.
+func Recover(cfg core.Config, log *Log, manifest Manifest, committed map[uint64][]string) (*Runner, error) {
+	sink := NewTxSink()
+	sink.SeedCommitted(committed)
+	r, err := NewRunner(cfg, log, sink)
+	if err != nil {
+		return nil, err
+	}
+	// Replay without re-logging.
+	recs := log.Slice(0, log.Len())
+	next := 0 // next manifest offset index
+	for i, rec := range recs {
+		for next < len(manifest.Offsets) && manifest.Offsets[next] == i {
+			r.replayCheckpoint()
+			next++
+		}
+		switch rec.Kind {
+		case RecSubmit:
+			if err := r.applySubmit(rec.Query); err != nil {
+				return nil, err
+			}
+		case RecStop:
+			if err := r.applyStop(rec.Ordinal); err != nil {
+				return nil, err
+			}
+		case RecTuple:
+			if err := r.eng.Ingest(rec.Stream, rec.Tuple); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for next < len(manifest.Offsets) && manifest.Offsets[next] == len(recs) {
+		r.replayCheckpoint()
+		next++
+	}
+	return r, nil
+}
+
+// replayCheckpoint re-cuts a checkpoint during replay, deduplicating epochs
+// the previous incarnation already committed.
+func (r *Runner) replayCheckpoint() {
+	r.barrier++
+	id := r.barrier
+	r.eng.Checkpoint(id)
+	r.snaps.await(id, r.eng.InstanceCount())
+	r.sink.CommitReplayed(id - 1)
+	r.sink.BeginEpoch(id)
+}
+
+// FinishReplay drains and commits everything after recovery.
+func (r *Runner) FinishReplay() []string {
+	r.eng.Drain()
+	r.sink.CommitReplayed(^uint64(0))
+	return r.sink.Committed()
+}

@@ -1,0 +1,76 @@
+// Package cluster models the simulated multi-node deployments of the
+// paper's evaluation (§4.4: 4- and 8-node clusters). A Layout places
+// operator instances onto nodes round-robin; inter-node edges pay the
+// serialization cost of spe.BinaryCodec (installed by the engines when
+// Nodes > 1). The package also provides the shuffle-volume accounting used
+// in experiment reports.
+package cluster
+
+import (
+	"fmt"
+)
+
+// Layout describes a simulated cluster.
+type Layout struct {
+	// Nodes is the node count (1 = single machine, no serialization).
+	Nodes int
+	// Parallelism is the per-operator instance count; instances i of every
+	// operator land on node i % Nodes.
+	Parallelism int
+}
+
+// Validate checks the layout.
+func (l Layout) Validate() error {
+	if l.Nodes < 1 {
+		return fmt.Errorf("cluster: node count %d must be ≥ 1", l.Nodes)
+	}
+	if l.Parallelism < 1 {
+		return fmt.Errorf("cluster: parallelism %d must be ≥ 1", l.Parallelism)
+	}
+	return nil
+}
+
+// NodeOf returns the node hosting instance i.
+func (l Layout) NodeOf(instance int) int {
+	return instance % l.Nodes
+}
+
+// CrossNodeFraction estimates the fraction of keyed-exchange traffic that
+// crosses node boundaries between two operators with this layout, assuming
+// uniformly hashed keys: a tuple from instance i goes to a uniformly random
+// instance j, and crosses iff node(i) != node(j).
+func (l Layout) CrossNodeFraction() float64 {
+	if l.Nodes <= 1 {
+		return 0
+	}
+	cross := 0
+	total := 0
+	for i := 0; i < l.Parallelism; i++ {
+		for j := 0; j < l.Parallelism; j++ {
+			total++
+			if l.NodeOf(i) != l.NodeOf(j) {
+				cross++
+			}
+		}
+	}
+	return float64(cross) / float64(total)
+}
+
+// String renders the layout.
+func (l Layout) String() string {
+	return fmt.Sprintf("%d-node×%d-way", l.Nodes, l.Parallelism)
+}
+
+// ScaleParallelism returns the conventional parallelism for a node count in
+// the experiments: cores-per-node × nodes is out of reach on one machine, so
+// the experiments scale operator parallelism linearly with nodes (two
+// instances per simulated node by default).
+func ScaleParallelism(nodes, perNode int) int {
+	if perNode < 1 {
+		perNode = 1
+	}
+	if nodes < 1 {
+		nodes = 1
+	}
+	return nodes * perNode
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"astream/internal/core"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+func TestLayoutValidate(t *testing.T) {
+	if err := (Layout{Nodes: 0, Parallelism: 1}).Validate(); err == nil {
+		t.Error("zero nodes must fail")
+	}
+	if err := (Layout{Nodes: 2, Parallelism: 0}).Validate(); err == nil {
+		t.Error("zero parallelism must fail")
+	}
+	if err := (Layout{Nodes: 4, Parallelism: 8}).Validate(); err != nil {
+		t.Errorf("valid layout rejected: %v", err)
+	}
+}
+
+func TestNodeOfRoundRobin(t *testing.T) {
+	l := Layout{Nodes: 4, Parallelism: 8}
+	for i := 0; i < 8; i++ {
+		if l.NodeOf(i) != i%4 {
+			t.Fatalf("NodeOf(%d) = %d", i, l.NodeOf(i))
+		}
+	}
+}
+
+func TestCrossNodeFraction(t *testing.T) {
+	if f := (Layout{Nodes: 1, Parallelism: 8}).CrossNodeFraction(); f != 0 {
+		t.Fatalf("single node cross fraction = %v", f)
+	}
+	// 2 nodes, 2 instances: i→j crossings: (0,1),(1,0) of 4 pairs = 0.5.
+	if f := (Layout{Nodes: 2, Parallelism: 2}).CrossNodeFraction(); f != 0.5 {
+		t.Fatalf("2×2 cross fraction = %v, want 0.5", f)
+	}
+	// More nodes ⇒ more crossing.
+	f2 := (Layout{Nodes: 2, Parallelism: 8}).CrossNodeFraction()
+	f4 := (Layout{Nodes: 4, Parallelism: 8}).CrossNodeFraction()
+	if f4 <= f2 {
+		t.Fatalf("cross fraction should grow with nodes: %v vs %v", f2, f4)
+	}
+}
+
+func TestScaleParallelism(t *testing.T) {
+	if ScaleParallelism(4, 2) != 8 || ScaleParallelism(0, 0) != 1 {
+		t.Fatal("ScaleParallelism arithmetic")
+	}
+}
+
+// TestMultiNodeEngineCorrectness runs the shared engine in a simulated
+// multi-node deployment (inter-node edges pay the codec) and checks results
+// match the single-node run.
+func TestMultiNodeEngineCorrectness(t *testing.T) {
+	run := func(nodes int) []uint64 {
+		eng, err := core.NewEngine(core.Config{
+			Streams: 2, Parallelism: 4, Nodes: nodes,
+			BatchSize: 1, WatermarkEvery: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		counts := []uint64{0, 0}
+		mkSink := func(i int) core.Sink {
+			return core.SinkFunc(func(core.Result) {
+				mu.Lock()
+				counts[i]++
+				mu.Unlock()
+			})
+		}
+		q1 := &core.Query{Kind: core.KindAggregation, Arity: 1,
+			Predicates: []expr.Predicate{expr.True()},
+			Window:     window.TumblingSpec(10), Agg: sqlstream.AggSum, AggField: 0}
+		q2 := &core.Query{Kind: core.KindJoin, Arity: 2,
+			Predicates: []expr.Predicate{expr.True(), expr.True()},
+			Window:     window.TumblingSpec(8), AggField: -1}
+		for i, q := range []*core.Query{q1, q2} {
+			_, ack, err := eng.Submit(q, mkSink(i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			<-ack
+		}
+		for i := 1; i <= 100; i++ {
+			for s := 0; s < 2; s++ {
+				tu := event.Tuple{Key: int64(i % 7), Time: event.Time(i)}
+				tu.Fields[0] = int64(i)
+				if err := eng.Ingest(s, tu); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		eng.Drain()
+		return counts
+	}
+	one := run(1)
+	four := run(4)
+	if one[0] != four[0] || one[1] != four[1] {
+		t.Fatalf("multi-node results differ: %v vs %v", one, four)
+	}
+	if one[0] == 0 || one[1] == 0 {
+		t.Fatal("queries produced nothing")
+	}
+}

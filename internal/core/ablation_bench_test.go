@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"astream/internal/bitset"
+	"astream/internal/changelog"
+	"astream/internal/event"
+)
+
+// BenchmarkAblationSliceStore contrasts the grouped, list, and adaptive
+// slice stores on the slice-join kernel (paper §3.1.4's data-structure
+// heuristic). Few distinct query-sets favour grouping; many favour the list.
+func BenchmarkAblationSliceStore(b *testing.B) {
+	scenarios := []struct {
+		name     string
+		distinct int // distinct query-sets among tuples
+	}{
+		{"fewGroups", 4},
+		{"manyGroups", 512},
+	}
+	modes := []StoreMode{StoreGrouped, StoreList, StoreAdaptive}
+	for _, sc := range scenarios {
+		for _, mode := range modes {
+			b.Run(sc.name+"/"+mode.String(), func(b *testing.B) {
+				// Single-bit query-sets: two groups join only when they
+				// share the bit, so group-level pruning can skip
+				// (distinct-1)/distinct of all group pairs.
+				mkStore := func(seed int64) *sliceStore {
+					r := rand.New(rand.NewSource(seed))
+					s := newSliceStore(mode)
+					for i := 0; i < 2000; i++ {
+						qs := bitset.FromIndexes(r.Intn(sc.distinct))
+						s.Add(event.Tuple{Key: int64(r.Intn(100)), Time: event.Time(i), QuerySet: qs})
+					}
+					return s
+				}
+				sa, sb := mkStore(2), mkStore(3)
+				mask := bitset.AllUpTo(sc.distinct)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					n := 0
+					joinStores(sa, sb, mask, func(event.JoinedTuple) { n++ })
+					if n == 0 {
+						b.Fatal("join produced nothing")
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationChangelogDP contrasts Equation 1's DP table against
+// recomputing AND-chains for non-adjacent slice relations.
+func BenchmarkAblationChangelogDP(b *testing.B) {
+	reg := changelog.NewRegistry(changelog.SlotReuse)
+	tb := changelog.NewTable()
+	var logs []*changelog.Changelog
+	id := 1
+	for step := 0; step < 256; step++ {
+		var del []int
+		if id > 16 {
+			del = []int{id - 16}
+		}
+		cl, err := reg.Apply(event.Time(step), []int{id}, del)
+		if err != nil {
+			b.Fatal(err)
+		}
+		logs = append(logs, cl)
+		if err := tb.Add(cl); err != nil {
+			b.Fatal(err)
+		}
+		id++
+	}
+	b.Run("dp-table", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := uint64(1); j < 256; j += 17 {
+				if _, err := tb.Rel(256, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("and-chain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for j := uint64(1); j < 256; j += 17 {
+				changelog.RelChain(logs, 256, j)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationAppendOnlyQuerySets contrasts slot reuse (Figure 3c)
+// with append-only slots (Figure 3b): after heavy churn, append-only
+// query-sets are wide and sparse, and every bitset operation pays for it.
+func BenchmarkAblationAppendOnlyQuerySets(b *testing.B) {
+	for _, mode := range []changelog.Mode{changelog.SlotReuse, changelog.AppendOnly} {
+		b.Run(mode.String(), func(b *testing.B) {
+			reg := changelog.NewRegistry(mode)
+			id := 1
+			// Churn: 10 live queries, 2000 total created.
+			for step := 0; step < 2000; step++ {
+				var del []int
+				if id > 10 {
+					del = []int{id - 10}
+				}
+				if _, err := reg.Apply(event.Time(step), []int{id}, del); err != nil {
+					b.Fatal(err)
+				}
+				id++
+			}
+			active := reg.ActiveSlots()
+			probe := active.Clone()
+			b.ReportMetric(float64(reg.NumSlots()), "slots")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !active.Intersects(probe) {
+					b.Fatal("must intersect")
+				}
+				_ = active.And(probe)
+			}
+		})
+	}
+}

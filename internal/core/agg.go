@@ -1,0 +1,555 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"astream/internal/bitset"
+	"astream/internal/changelog"
+	"astream/internal/event"
+	"astream/internal/spe"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// aggVal is the shared partial aggregate for one (query-set group, key): all
+// the per-field statistics any query's aggregate can be finalized from, so
+// every query sharing the group shares a single update per tuple
+// (paper §3.1.5: tuples are folded into intermediate results and discarded).
+type aggVal struct {
+	Count       int64
+	Sum         [event.NumFields]int64
+	Min         [event.NumFields]int64
+	Max         [event.NumFields]int64
+	IngestNanos int64 // freshest contributor
+}
+
+func newAggVal() *aggVal {
+	v := &aggVal{}
+	for i := range v.Min {
+		v.Min[i] = 1<<63 - 1
+		v.Max[i] = -1 << 63
+	}
+	return v
+}
+
+func (v *aggVal) fold(t *event.Tuple) {
+	v.Count++
+	for i, f := range t.Fields {
+		v.Sum[i] += f
+		if f < v.Min[i] {
+			v.Min[i] = f
+		}
+		if f > v.Max[i] {
+			v.Max[i] = f
+		}
+	}
+	if t.IngestNanos > v.IngestNanos {
+		v.IngestNanos = t.IngestNanos
+	}
+}
+
+func (v *aggVal) merge(o *aggVal) {
+	v.Count += o.Count
+	for i := range v.Sum {
+		v.Sum[i] += o.Sum[i]
+		if o.Min[i] < v.Min[i] {
+			v.Min[i] = o.Min[i]
+		}
+		if o.Max[i] > v.Max[i] {
+			v.Max[i] = o.Max[i]
+		}
+	}
+	if o.IngestNanos > v.IngestNanos {
+		v.IngestNanos = o.IngestNanos
+	}
+}
+
+// finalize computes the query-visible value.
+func (v *aggVal) finalize(fn sqlstream.AggFunc, field int) int64 {
+	switch fn {
+	case sqlstream.AggCount:
+		return v.Count
+	case sqlstream.AggSum:
+		return v.Sum[field]
+	case sqlstream.AggAvg:
+		if v.Count == 0 {
+			return 0
+		}
+		return v.Sum[field] / v.Count
+	case sqlstream.AggMin:
+		return v.Min[field]
+	case sqlstream.AggMax:
+		return v.Max[field]
+	default:
+		return 0
+	}
+}
+
+// aggGroup is a query-set group inside one slice: per-key shared partials.
+type aggGroup struct {
+	qs    bitset.Bits
+	byKey map[int64]*aggVal
+}
+
+// aggQuery is one active query served by the aggregation operator.
+type aggQuery struct {
+	q    *Query
+	slot int
+	port int // which input port feeds this query's aggregation
+	// sessions is per-key session state for session-window queries.
+	sessions map[int64]*window.SessionState
+	// since/until/endEpoch implement event-time query lifetime, exactly as
+	// in the shared join: windows ending in (since, until] fire, masked by
+	// changelog-sets capped at endEpoch.
+	since    event.Time
+	until    event.Time
+	endEpoch uint64
+}
+
+func (a *aggQuery) spec() window.Spec {
+	if a.q.Kind == KindComplex {
+		return a.q.AggWindow
+	}
+	return a.q.Window
+}
+
+// SharedAggregation is the shared windowed aggregation operator (§3.1.5).
+// Port 0 carries raw stream-0 tuples (arity-1 aggregations and selections);
+// port k ≥ 1 carries the output of join stage k-1 (complex queries of arity
+// k+1). Tuples fold into query-set-grouped partial aggregates per slice and
+// are then discarded; window results combine slice partials.
+type SharedAggregation struct {
+	spe.BaseLogic
+	ports     int
+	sl        *slicer
+	table     *changelog.Table
+	active    map[int]*aggQuery // by query ID
+	selection map[int]*aggQuery // selection queries (terminal at port 0)
+	// maskVersions holds the per-port/selection/session slot masks,
+	// versioned by event-time. Slot reuse makes a bare slot ambiguous (the
+	// same bit can mean "aggregation input" in one epoch and "join input
+	// of a complex query" in the next); resolving masks against the
+	// tuple's event-time removes the ambiguity, exactly as the shared
+	// selection resolves its predicate table.
+	maskVersions []maskVersion
+	router       *Router
+	metrics      *OpMetrics
+	lateness     event.Time
+	lastWM       event.Time
+	evictedThru  event.Time
+}
+
+// maskVersion is the slot-mask table in effect from a given event-time.
+type maskVersion struct {
+	from      event.Time
+	portMasks []bitset.Bits
+	selMask   bitset.Bits
+	sessMask  bitset.Bits
+}
+
+// NewSharedAggregation constructs the logic for one instance.
+func NewSharedAggregation(ports int, lateness event.Time, router *Router, m *OpMetrics) *SharedAggregation {
+	return &SharedAggregation{
+		ports:        ports,
+		sl:           newSlicer(),
+		table:        changelog.NewTable(),
+		active:       make(map[int]*aggQuery),
+		selection:    make(map[int]*aggQuery),
+		maskVersions: []maskVersion{{from: event.MinTime, portMasks: make([]bitset.Bits, ports)}},
+		router:       router,
+		metrics:      m,
+		lateness:     lateness,
+		lastWM:       event.MinTime,
+		evictedThru:  event.MinTime,
+	}
+}
+
+// masksAt returns the mask table in effect at event-time t.
+func (a *SharedAggregation) masksAt(t event.Time) *maskVersion {
+	i := sort.Search(len(a.maskVersions), func(i int) bool { return a.maskVersions[i].from > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return &a.maskVersions[i]
+}
+
+// aggPortOf returns the input port whose tuples feed q's aggregation, or -1
+// when q is not an aggregation consumer.
+func aggPortOf(q *Query) int {
+	switch q.Kind {
+	case KindAggregation:
+		return 0
+	case KindComplex:
+		return q.Arity - 1
+	default:
+		return -1
+	}
+}
+
+// OnChangelog updates active queries, port masks, epochs, and the table.
+func (a *SharedAggregation) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
+	msg := payload.(*ChangelogMsg)
+	for _, d := range msg.CL.Deleted {
+		if aq, ok := a.active[d.Query]; ok {
+			aq.until = at
+			aq.endEpoch = msg.CL.Seq - 1
+		}
+		if sq, ok := a.selection[d.Query]; ok {
+			sq.until = at
+			sq.endEpoch = msg.CL.Seq - 1
+		}
+	}
+	for _, c := range msg.CL.Created {
+		q := msg.Defs[c.Query]
+		if q == nil {
+			continue
+		}
+		switch {
+		case q.Kind == KindSelection:
+			a.selection[c.Query] = &aggQuery{q: q, slot: c.Slot, port: 0, since: at, until: event.MaxTime, endEpoch: ^uint64(0)}
+		case aggPortOf(q) >= 0 && aggPortOf(q) < a.ports:
+			aq := &aggQuery{q: q, slot: c.Slot, port: aggPortOf(q), since: at, until: event.MaxTime, endEpoch: ^uint64(0)}
+			if aq.spec().Kind == window.Session {
+				aq.sessions = make(map[int64]*window.SessionState)
+			}
+			a.active[c.Query] = aq
+		}
+	}
+	// Append a new mask version effective from this changelog's time,
+	// built from the queries running after it (pending-deleted queries
+	// keep their bits in OLDER versions, where in-flight pre-deletion
+	// tuples resolve). Epoch specs likewise come from running queries.
+	mv := maskVersion{from: at, portMasks: make([]bitset.Bits, a.ports)}
+	specs := make([]window.Spec, 0, len(a.active))
+	for _, aq := range a.active {
+		if aq.until == event.MaxTime {
+			mv.portMasks[aq.port].Set(aq.slot)
+			if aq.sessions != nil {
+				mv.sessMask.Set(aq.slot)
+			}
+		}
+		if sp := aq.spec(); sp.IsTimeBased() && aq.until == event.MaxTime {
+			specs = append(specs, sp)
+		}
+	}
+	for _, sq := range a.selection {
+		if sq.until == event.MaxTime {
+			mv.selMask.Set(sq.slot)
+		}
+	}
+	a.maskVersions = append(a.maskVersions, mv)
+	if err := a.sl.addEpoch(at, msg.CL.Seq, specs); err != nil {
+		panic(fmt.Sprintf("core: agg epoch: %v", err))
+	}
+	if err := a.table.Add(msg.CL); err != nil {
+		panic(fmt.Sprintf("core: agg table: %v", err))
+	}
+}
+
+// OnTuple folds the tuple into slice partials (and serves selection queries
+// and session windows directly).
+func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
+	mv := a.masksAt(t.Time)
+	// Selection queries: terminal, stateless, port 0 only.
+	if port == 0 && t.QuerySet.Intersects(mv.selMask) {
+		for _, sq := range a.selection {
+			if t.QuerySet.Test(sq.slot) && t.Time >= sq.since && t.Time < sq.until {
+				a.router.Deliver(Result{
+					QueryID:     sq.q.ID,
+					Kind:        KindSelection,
+					Tuple:       t,
+					EventTime:   t.Time,
+					IngestNanos: t.IngestNanos,
+				})
+			}
+		}
+	}
+	if port >= len(mv.portMasks) {
+		return
+	}
+	qs := t.QuerySet.And(mv.portMasks[port])
+	if qs.IsEmpty() {
+		return
+	}
+	if t.Time < a.evictedThru {
+		atomic.AddUint64(&a.metrics.Late, 1)
+		return
+	}
+	// Session-window queries keep per-key data-driven state.
+	timeQS := qs
+	if qs.Intersects(mv.sessMask) {
+		for _, aq := range a.active {
+			if aq.sessions == nil || !qs.Test(aq.slot) || t.Time < aq.since || t.Time >= aq.until {
+				continue
+			}
+			ss := aq.sessions[t.Key]
+			if ss == nil {
+				ss = window.NewSessionState(aq.spec().Gap)
+				aq.sessions[t.Key] = ss
+			}
+			ss.Add(t.Time, a.valueOf(aq, &t))
+		}
+		timeQS = timeQS.AndNot(mv.sessMask)
+	}
+	if timeQS.IsEmpty() {
+		return
+	}
+	sl := a.sl.sliceFor(t.Time)
+	if sl.aggs == nil {
+		sl.aggs = make(map[string]*aggGroup)
+	}
+	k := timeQS.Key()
+	g := sl.aggs[k]
+	if g == nil {
+		g = &aggGroup{qs: timeQS.Clone(), byKey: make(map[int64]*aggVal)}
+		sl.aggs[k] = g
+	}
+	v := g.byKey[t.Key]
+	if v == nil {
+		v = newAggVal()
+		g.byKey[t.Key] = v
+	}
+	v.fold(&t)
+}
+
+func (a *SharedAggregation) valueOf(aq *aggQuery, t *event.Tuple) int64 {
+	if aq.q.Agg == sqlstream.AggCount || aq.q.AggField < 0 {
+		return 1
+	}
+	return t.Fields[aq.q.AggField]
+}
+
+// OnWatermark triggers windows ending in (lastWM, wm], harvests closed
+// sessions, and evicts expired slices.
+func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
+	if wm <= a.lastWM {
+		return
+	}
+	// Clamp the trigger range to where data exists (see SharedJoin).
+	lo := a.lastWM
+	if lo == event.MinTime {
+		if f, ok := a.sl.firstSliceStart(); ok {
+			lo = f
+		} else {
+			lo = wm
+		}
+	}
+
+	// Group triggered time-window queries by extent.
+	type trigger struct {
+		ext     window.Extent
+		queries []*aggQuery
+	}
+	byExt := map[window.Extent]*trigger{}
+	var triggers []*trigger
+	for _, aq := range a.active {
+		sp := aq.spec()
+		if !sp.IsTimeBased() {
+			continue
+		}
+		qlo := lo
+		if aq.since > qlo {
+			qlo = aq.since
+		}
+		for _, ext := range sp.WindowsEndingIn(qlo, wm) {
+			if ext.End > aq.until {
+				continue
+			}
+			tr := byExt[ext]
+			if tr == nil {
+				tr = &trigger{ext: ext}
+				byExt[ext] = tr
+				triggers = append(triggers, tr)
+			}
+			tr.queries = append(tr.queries, aq)
+		}
+	}
+	cur := a.table.Latest()
+	for _, tr := range triggers {
+		a.fireWindow(tr.ext, tr.queries, cur)
+	}
+
+	// Session harvest.
+	for _, aq := range a.active {
+		if aq.sessions == nil {
+			continue
+		}
+		for key, ss := range aq.sessions {
+			for _, cs := range ss.Harvest(wm) {
+				if cs.Extent.End > aq.until {
+					continue // session outlived the query
+				}
+				atomic.AddUint64(&a.metrics.AggOut, 1)
+				val := cs.Sum
+				switch aq.q.Agg {
+				case sqlstream.AggCount:
+					val = cs.Count
+				case sqlstream.AggAvg:
+					if cs.Count > 0 {
+						val = cs.Sum / cs.Count
+					}
+				}
+				a.router.Deliver(Result{
+					QueryID:   aq.q.ID,
+					Kind:      aq.q.Kind,
+					Window:    cs.Extent,
+					Key:       key,
+					Value:     val,
+					EventTime: cs.Extent.End,
+				})
+			}
+			if ss.Open() == 0 {
+				delete(aq.sessions, key)
+			}
+		}
+	}
+
+	// Purge queries whose deletion time has passed; their last windows
+	// have fired above.
+	for id, aq := range a.active {
+		if aq.until <= wm {
+			delete(a.active, id)
+		}
+	}
+	for id, sq := range a.selection {
+		if sq.until <= wm {
+			delete(a.selection, id)
+		}
+	}
+
+	// Eviction and history compaction. Retention includes pending-deleted
+	// queries (purge already removed the expired ones).
+	specs := make([]window.Spec, 0, len(a.active))
+	for _, aq := range a.active {
+		if sp := aq.spec(); sp.IsTimeBased() {
+			specs = append(specs, sp)
+		}
+	}
+	retain := func(sl *slice) event.Time {
+		r := sl.ext.End
+		for _, sp := range specs {
+			if e := sp.LastWindowEndCovering(sl.ext.Start); e > r {
+				r = e
+			}
+		}
+		return r
+	}
+	a.sl.evict(wm, retain, func(sl *slice) {
+		if sl.ext.End > a.evictedThru {
+			a.evictedThru = sl.ext.End
+		}
+	})
+	a.sl.pruneEpochs(wm - a.lateness)
+	// Prune mask versions no in-flight tuple can reference.
+	horizon := wm - a.lateness
+	i := sort.Search(len(a.maskVersions), func(i int) bool { return a.maskVersions[i].from > horizon }) - 1
+	if i > 0 {
+		a.maskVersions = append(a.maskVersions[:0], a.maskVersions[i:]...)
+	}
+	oldest := a.sl.oldestEpochInUse()
+	if o := a.sl.minFutureEpoch(wm - a.lateness); o < oldest {
+		oldest = o
+	}
+	a.table.Compact(oldest)
+	a.lastWM = wm
+}
+
+// fireWindow combines slice partials for one window extent and emits one row
+// per (query, key).
+func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, curEpoch uint64) {
+	slices := a.sl.overlapping(ext)
+	if len(slices) == 0 {
+		return
+	}
+	// Group queries by changelog-set cap (running queries mask to the
+	// current epoch; pending-deleted ones to the epoch before deletion),
+	// then accumulate per query slot and key.
+	type aggCapGroup struct {
+		cap     uint64
+		queries []*aggQuery
+	}
+	byCap := map[uint64]*aggCapGroup{}
+	var capGroups []*aggCapGroup
+	for _, aq := range queries {
+		cap := curEpoch
+		if aq.endEpoch < cap {
+			cap = aq.endEpoch
+		}
+		g := byCap[cap]
+		if g == nil {
+			g = &aggCapGroup{cap: cap}
+			byCap[cap] = g
+			capGroups = append(capGroups, g)
+		}
+		g.queries = append(g.queries, aq)
+	}
+
+	accum := make(map[int]map[int64]*aggVal, len(queries))
+	slotQ := make(map[int]*aggQuery, len(queries))
+	for _, aq := range queries {
+		accum[aq.slot] = make(map[int64]*aggVal)
+		slotQ[aq.slot] = aq
+	}
+	tick := a.metrics.start()
+	for _, sl := range slices {
+		if sl.aggs == nil {
+			continue
+		}
+		for _, cg := range capGroups {
+			if cg.cap < a.table.Base() {
+				continue
+			}
+			relNow, err := a.table.Rel(sl.epoch, cg.cap)
+			if err != nil {
+				panic(fmt.Sprintf("core: agg relNow: %v", err))
+			}
+			if relNow.IsEmpty() {
+				continue
+			}
+			for _, g := range sl.aggs {
+				eff := g.qs.And(relNow)
+				if eff.IsEmpty() {
+					continue
+				}
+				for _, aq := range cg.queries {
+					if !eff.Test(aq.slot) {
+						continue
+					}
+					byKey := accum[aq.slot]
+					for key, v := range g.byKey {
+						acc := byKey[key]
+						if acc == nil {
+							acc = newAggVal()
+							byKey[key] = acc
+						}
+						acc.merge(v)
+					}
+				}
+			}
+		}
+	}
+	a.metrics.BitsetOps.observe(tick, a.metrics)
+	for slot, byKey := range accum {
+		aq := slotQ[slot]
+		for key, v := range byKey {
+			atomic.AddUint64(&a.metrics.AggOut, 1)
+			a.router.Deliver(Result{
+				QueryID:     aq.q.ID,
+				Kind:        aq.q.Kind,
+				Window:      ext,
+				Key:         key,
+				Value:       v.finalize(aq.q.Agg, aq.q.AggField),
+				EventTime:   ext.End,
+				IngestNanos: v.IngestNanos,
+			})
+		}
+	}
+}
+
+// ActiveQueries reports registered aggregation queries (tests/metrics).
+func (a *SharedAggregation) ActiveQueries() int { return len(a.active) }
+
+// LiveSlices reports the live slice count (tests/metrics).
+func (a *SharedAggregation) LiveSlices() int { return a.sl.liveSlices() }

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"astream/internal/event"
+	"astream/internal/window"
+)
+
+// Result is one query-addressed output row leaving the engine.
+type Result struct {
+	QueryID int
+	Kind    Kind
+	// Window is the triggering window for windowed kinds.
+	Window window.Extent
+	// Tuple is set for selection results.
+	Tuple event.Tuple
+	// Join is set for join results.
+	Join event.JoinedTuple
+	// Key/Value are set for aggregation results.
+	Key   int64
+	Value int64
+	// EventTime is the result's event-time (tuple time, join max-time, or
+	// window end for aggregations).
+	EventTime event.Time
+	// IngestNanos is the ingestion wall-clock of the freshest contributing
+	// tuple; sinks subtract it from time.Now() for end-to-end latency
+	// (paper §3.4 samples latency at sinks).
+	IngestNanos int64
+}
+
+// Sink consumes one query's results. OnResult is called from operator
+// goroutines and must be safe for concurrent use.
+type Sink interface {
+	OnResult(r Result)
+}
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(Result)
+
+// OnResult implements Sink.
+func (f SinkFunc) OnResult(r Result) { f(r) }
+
+// CountingSink counts results and samples end-to-end latency; it is the
+// default sink attached to queries submitted without one.
+type CountingSink struct {
+	Count       uint64
+	latSum      uint64 // nanos
+	latN        uint64
+	nowNanos    func() int64
+	sampleEvery uint64
+}
+
+// NewCountingSink creates a sink sampling every n-th result's latency.
+func NewCountingSink(nowNanos func() int64, sampleEvery int) *CountingSink {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &CountingSink{nowNanos: nowNanos, sampleEvery: uint64(sampleEvery)}
+}
+
+// OnResult implements Sink.
+func (c *CountingSink) OnResult(r Result) {
+	n := atomic.AddUint64(&c.Count, 1)
+	if r.IngestNanos > 0 && n%c.sampleEvery == 0 {
+		d := c.nowNanos() - r.IngestNanos
+		if d > 0 {
+			atomic.AddUint64(&c.latSum, uint64(d))
+			atomic.AddUint64(&c.latN, 1)
+		}
+	}
+}
+
+// Results returns the delivered-result count.
+func (c *CountingSink) Results() uint64 { return atomic.LoadUint64(&c.Count) }
+
+// MeanLatencyNanos returns the sampled mean end-to-end latency (0 when no
+// samples).
+func (c *CountingSink) MeanLatencyNanos() uint64 {
+	n := atomic.LoadUint64(&c.latN)
+	if n == 0 {
+		return 0
+	}
+	return atomic.LoadUint64(&c.latSum) / n
+}
+
+// Router delivers result rows to per-query output channels (paper §3.1.6).
+// This is the one place AStream copies data: a result matching k queries is
+// materialized k times, once per query channel (§3.2.2).
+type Router struct {
+	mu      sync.RWMutex
+	sinks   map[int]Sink
+	metrics *OpMetrics
+}
+
+// NewRouter creates an empty router.
+func NewRouter(m *OpMetrics) *Router {
+	return &Router{sinks: make(map[int]Sink), metrics: m}
+}
+
+// Register attaches the sink for a query. Registration happens before the
+// query's changelog is released, so no result can race ahead of it.
+func (r *Router) Register(queryID int, s Sink) {
+	r.mu.Lock()
+	r.sinks[queryID] = s
+	r.mu.Unlock()
+}
+
+// Unregister detaches a stopped query's sink.
+func (r *Router) Unregister(queryID int) {
+	r.mu.Lock()
+	delete(r.sinks, queryID)
+	r.mu.Unlock()
+}
+
+// Deliver routes one result row to its query's sink. The per-query copy has
+// already happened by value in r.
+func (r *Router) Deliver(res Result) {
+	tick := r.metrics.start()
+	r.mu.RLock()
+	s := r.sinks[res.QueryID]
+	r.mu.RUnlock()
+	if s != nil {
+		s.OnResult(res)
+	}
+	r.metrics.RouterCopy.observe(tick, r.metrics)
+}
+
+// Each visits every registered (query, sink) pair.
+func (r *Router) Each(fn func(queryID int, s Sink)) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for id, s := range r.sinks {
+		fn(id, s)
+	}
+}
+
+// SinkFor returns the sink registered for a query (tests).
+func (r *Router) SinkFor(queryID int) Sink {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.sinks[queryID]
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"astream/internal/bitset"
+	"astream/internal/changelog"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/spe"
+)
+
+// StoreSwitch is the §3.2.3 marker the shared session attaches to a
+// changelog when the active-query count crosses the grouped-store threshold:
+// downstream joins switch every slice's data structure and resume.
+type StoreSwitch uint8
+
+const (
+	// SwitchNone leaves slice stores as they are.
+	SwitchNone StoreSwitch = iota
+	// SwitchGrouped switches slice stores to query-set grouping.
+	SwitchGrouped
+	// SwitchList switches slice stores to flat lists.
+	SwitchList
+)
+
+// ChangelogMsg is the changelog payload woven through the engine's streams:
+// the slot-level changelog plus the compiled definitions of the queries it
+// creates. Operators treat it as immutable shared state.
+type ChangelogMsg struct {
+	CL *changelog.Changelog
+	// Defs maps created query IDs to their compiled definitions.
+	Defs map[int]*Query
+	// Switch, when not SwitchNone, is the §3.2.3 store-layout marker.
+	Switch StoreSwitch
+}
+
+// ChangelogSeq implements spe.ChangelogPayload.
+func (m *ChangelogMsg) ChangelogSeq() uint64 { return m.CL.Seq }
+
+// selEntry is one active query's predicate on this stream.
+type selEntry struct {
+	slot int
+	pred expr.Predicate
+}
+
+// selVersion is the query table in effect from a given event-time.
+type selVersion struct {
+	from    event.Time
+	entries []selEntry
+}
+
+// SharedSelection computes each tuple's query-set and appends it as the
+// extra column (paper §3.1.2). It keeps the query table versioned by
+// event-time so out-of-order tuples are classified against the workload
+// that was active at *their* time, which is what makes replays and
+// out-of-order processing consistent (§3.3).
+type SharedSelection struct {
+	spe.BaseLogic
+	stream   int // which engine stream this instance filters
+	versions []selVersion
+	metrics  *OpMetrics
+	lateness event.Time
+	wm       event.Time
+}
+
+// NewSharedSelection constructs the logic for one instance.
+func NewSharedSelection(stream int, lateness event.Time, m *OpMetrics) *SharedSelection {
+	return &SharedSelection{
+		stream:   stream,
+		versions: []selVersion{{from: event.MinTime}},
+		metrics:  m,
+		lateness: lateness,
+		wm:       event.MinTime,
+	}
+}
+
+func (s *SharedSelection) tableAt(t event.Time) *selVersion {
+	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].from > t }) - 1
+	if i < 0 {
+		i = 0
+	}
+	return &s.versions[i]
+}
+
+// OnTuple evaluates every active predicate and emits the tuple with its
+// query-set; tuples interesting to no query are dropped at the earliest
+// possible point.
+func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
+	tick := s.metrics.start()
+	v := s.tableAt(t.Time)
+	var qs bitset.Bits
+	for i := range v.entries {
+		e := &v.entries[i]
+		if e.pred.Eval(&t) {
+			qs.Set(e.slot)
+		}
+	}
+	s.metrics.QuerySetGen.observe(tick, s.metrics)
+	if qs.IsEmpty() {
+		atomic.AddUint64(&s.metrics.Dropped, 1)
+		return
+	}
+	t.QuerySet = qs
+	t.Stream = uint8(s.stream)
+	atomic.AddUint64(&s.metrics.Selected, 1)
+	out.EmitTuple(t)
+}
+
+// OnChangelog installs the new query table version.
+func (s *SharedSelection) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
+	msg := payload.(*ChangelogMsg)
+	cur := s.versions[len(s.versions)-1]
+	deleted := map[int]bool{}
+	for _, d := range msg.CL.Deleted {
+		deleted[d.Slot] = true
+	}
+	next := selVersion{from: at, entries: make([]selEntry, 0, len(cur.entries)+len(msg.CL.Created))}
+	for _, e := range cur.entries {
+		if !deleted[e.slot] {
+			next.entries = append(next.entries, e)
+		}
+	}
+	for _, c := range msg.CL.Created {
+		q := msg.Defs[c.Query]
+		if q == nil || s.stream >= q.Arity {
+			continue // query does not read this stream
+		}
+		next.entries = append(next.entries, selEntry{slot: c.Slot, pred: q.Predicates[s.stream]})
+	}
+	s.versions = append(s.versions, next)
+}
+
+// OnWatermark prunes table versions that no in-flight tuple can reference.
+func (s *SharedSelection) OnWatermark(wm event.Time, _ *spe.Emitter) {
+	s.wm = wm
+	horizon := wm - s.lateness
+	// Keep the last version with from ≤ horizon and everything later.
+	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].from > horizon }) - 1
+	if i > 0 {
+		s.versions = append(s.versions[:0], s.versions[i:]...)
+	}
+}
+
+// ActiveEntries reports the current predicate count (tests/metrics).
+func (s *SharedSelection) ActiveEntries() int {
+	return len(s.versions[len(s.versions)-1].entries)
+}
+
+// OpMetrics aggregates shared-operator cost counters across instances; all
+// fields are atomics. Component timings (Fig. 18a) are sampled: every
+// sampleEvery-th operation is timed and scaled up.
+type OpMetrics struct {
+	Selected   uint64 // tuples that matched ≥1 query
+	Dropped    uint64 // tuples matching no query
+	Late       uint64 // tuples behind an evicted slice
+	JoinedOut  uint64 // join results produced
+	AggOut     uint64 // aggregation rows produced
+	PairsDone  uint64 // slice pairs joined (cache misses)
+	PairsReuse uint64 // slice-pair results reused from cache
+
+	QuerySetGen componentTimer // shared selection predicate evaluation
+	BitsetOps   componentTimer // masking/intersection during triggers
+	RouterCopy  componentTimer // per-query result copying in the router
+
+	ops uint64 // sampling clock
+}
+
+const sampleEvery = 64
+
+// start returns a wall-clock tick on sampled operations, else 0.
+func (m *OpMetrics) start() int64 {
+	if m == nil {
+		return 0
+	}
+	if atomic.AddUint64(&m.ops, 1)%sampleEvery != 0 {
+		return 0
+	}
+	return time.Now().UnixNano()
+}
+
+type componentTimer struct {
+	Nanos uint64 // sampled nanos, scaled by sampleEvery
+	Count uint64
+}
+
+func (c *componentTimer) observe(tick int64, m *OpMetrics) {
+	if m == nil {
+		return
+	}
+	atomic.AddUint64(&c.Count, 1)
+	if tick == 0 {
+		return
+	}
+	d := time.Now().UnixNano() - tick
+	if d < 0 {
+		d = 0
+	}
+	atomic.AddUint64(&c.Nanos, uint64(d)*sampleEvery)
+}
+
+// NanosEstimate returns the scaled nanosecond estimate for the component.
+func (c *componentTimer) NanosEstimate() uint64 { return atomic.LoadUint64(&c.Nanos) }

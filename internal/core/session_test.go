@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// TestSessionBatchTimeout verifies the shared session's timeout path
+// (§3.1.1): with a large batch size, a lone request is released when the
+// timeout fires, not immediately.
+func TestSessionBatchTimeout(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Streams: 1, Parallelism: 1,
+		BatchSize: 100, BatchTimeout: 30 * time.Millisecond,
+		WatermarkEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, ack, err := eng.Submit(aggQ(window.TumblingSpec(10), sqlstream.AggCount, -1, expr.True()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ack:
+		if el := time.Since(start); el < 20*time.Millisecond {
+			t.Fatalf("ack after %v: batch released before the timeout", el)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout flush never happened")
+	}
+	recs := eng.DeployRecords()
+	if len(recs) != 1 || recs[0].Latency < 20*time.Millisecond {
+		t.Fatalf("deploy record = %+v, want ≥ timeout", recs)
+	}
+	eng.Drain()
+}
+
+// TestSessionBatchSizeFlush verifies the batch-size path: the batch is
+// released as soon as it fills, without waiting for the timeout.
+func TestSessionBatchSizeFlush(t *testing.T) {
+	eng, err := NewEngine(Config{
+		Streams: 1, Parallelism: 1,
+		BatchSize: 3, BatchTimeout: time.Hour,
+		WatermarkEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acks []<-chan struct{}
+	for i := 0; i < 3; i++ {
+		_, ack, err := eng.Submit(aggQ(window.TumblingSpec(10), sqlstream.AggCount, -1, expr.True()), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack)
+	}
+	for i, ack := range acks {
+		select {
+		case <-ack:
+		case <-time.After(2 * time.Second):
+			t.Fatalf("ack %d not released on batch fill", i)
+		}
+	}
+	// One changelog for all three (same deployment batch).
+	if eng.registry.LastSeq() != 1 {
+		t.Fatalf("changelog seq = %d, want 1 (single batch)", eng.registry.LastSeq())
+	}
+	eng.Drain()
+}
+
+// TestSubmitAfterDrainFails verifies lifecycle errors.
+func TestSubmitAfterDrainFails(t *testing.T) {
+	eng, err := NewEngine(Config{Streams: 1, BatchSize: 1, WatermarkEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Drain()
+	if _, _, err := eng.Submit(aggQ(window.TumblingSpec(10), sqlstream.AggCount, -1, expr.True()), nil); err == nil {
+		t.Fatal("submit after drain must fail")
+	}
+	// Drain is idempotent.
+	eng.Drain()
+}
+
+// TestRouterDelivery exercises Register/Unregister/Each/Deliver directly.
+func TestRouterDelivery(t *testing.T) {
+	r := NewRouter(&OpMetrics{})
+	var mu sync.Mutex
+	got := map[int]int{}
+	mk := func(id int) Sink {
+		return SinkFunc(func(res Result) {
+			mu.Lock()
+			got[id]++
+			mu.Unlock()
+		})
+	}
+	r.Register(1, mk(1))
+	r.Register(2, mk(2))
+	r.Deliver(Result{QueryID: 1})
+	r.Deliver(Result{QueryID: 2})
+	r.Deliver(Result{QueryID: 3}) // no sink: dropped silently
+	if got[1] != 1 || got[2] != 1 {
+		t.Fatalf("delivery counts = %v", got)
+	}
+	n := 0
+	r.Each(func(int, Sink) { n++ })
+	if n != 2 {
+		t.Fatalf("Each visited %d sinks", n)
+	}
+	r.Unregister(1)
+	r.Deliver(Result{QueryID: 1})
+	if got[1] != 1 {
+		t.Fatal("unregistered sink still receiving")
+	}
+	if r.SinkFor(2) == nil || r.SinkFor(1) != nil {
+		t.Fatal("SinkFor wrong")
+	}
+}
+
+// TestCountingSink verifies the default sink's counters and latency
+// sampling.
+func TestCountingSink(t *testing.T) {
+	now := int64(1000)
+	s := NewCountingSink(func() int64 { return now }, 1)
+	for i := 0; i < 10; i++ {
+		s.OnResult(Result{IngestNanos: 400})
+	}
+	if s.Results() != 10 {
+		t.Fatalf("results = %d", s.Results())
+	}
+	if s.MeanLatencyNanos() != 600 {
+		t.Fatalf("mean latency = %d, want 600", s.MeanLatencyNanos())
+	}
+	// Zero ingest time → no latency sample.
+	s2 := NewCountingSink(func() int64 { return now }, 1)
+	s2.OnResult(Result{})
+	if s2.MeanLatencyNanos() != 0 {
+		t.Fatal("latency sampled without ingest time")
+	}
+	// sampleEvery < 1 clamps to 1.
+	s3 := NewCountingSink(func() int64 { return now }, 0)
+	s3.OnResult(Result{IngestNanos: 999})
+	if s3.Results() != 1 {
+		t.Fatal("clamped sink broken")
+	}
+}
+
+// TestCompileSQLErrors covers the compile-time rejections.
+func TestCompileSQLErrors(t *testing.T) {
+	parse := func(src string) error {
+		sq, err := sqlstream.Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		_, err = CompileSQL(sq)
+		return err
+	}
+	if err := parse(`SELECT * FROM A, B [RANGE 5] WHERE A.F0 = B.F0`); err == nil {
+		t.Error("non-key join condition must be rejected")
+	}
+	if err := parse(`SELECT SUM(A.F0) FROM A [RANGE 5] GROUPBY A.KEY`); err != nil {
+		t.Errorf("valid aggregation rejected: %v", err)
+	}
+}
+
+// TestKindStrings covers the Stringers.
+func TestKindStrings(t *testing.T) {
+	if KindSelection.String() != "selection" || KindJoin.String() != "join" ||
+		KindAggregation.String() != "aggregation" || KindComplex.String() != "complex" {
+		t.Fatal("Kind strings")
+	}
+}
+
+// TestChangelogTimes covers the session's changelog-time tracker.
+func TestChangelogTimes(t *testing.T) {
+	ct := newChangelogTimes(2)
+	if ct.next() != 1 {
+		t.Fatalf("empty next = %v, want 1", ct.next())
+	}
+	ct.observe(0, 10)
+	ct.observe(1, 7)
+	if ct.next() != 11 {
+		t.Fatalf("next = %v, want 11", ct.next())
+	}
+	ct.observe(1, event.Time(50))
+	if ct.next() != 51 {
+		t.Fatalf("next = %v, want 51", ct.next())
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"astream/internal/bitset"
+	"astream/internal/event"
+)
+
+// StoreMode selects how a slice stores its tuples (paper §3.1.4, §3.2.3).
+type StoreMode uint8
+
+const (
+	// StoreAdaptive starts grouped and switches to a flat list when the
+	// average group size drops below two — the paper's heuristic: with
+	// many concurrent queries the number of distinct query-sets explodes
+	// and most groups hold a single tuple.
+	StoreAdaptive StoreMode = iota
+	// StoreGrouped always groups tuples by query-set.
+	StoreGrouped
+	// StoreList always keeps a flat list.
+	StoreList
+)
+
+func (m StoreMode) String() string {
+	switch m {
+	case StoreAdaptive:
+		return "adaptive"
+	case StoreGrouped:
+		return "grouped"
+	case StoreList:
+		return "list"
+	default:
+		return "store?"
+	}
+}
+
+// adaptiveSwitchThreshold is the mean-group-size below which an adaptive
+// store degenerates to a list (paper: "if the average is less than two").
+const adaptiveSwitchThreshold = 2.0
+
+// minTuplesForSwitch avoids flapping on nearly-empty slices.
+const minTuplesForSwitch = 16
+
+// tupleGroup is one query-set group inside a grouped slice store. Grouping
+// lets the join skip whole groups whose query-sets cannot intersect.
+type tupleGroup struct {
+	qs     bitset.Bits
+	tuples []event.Tuple
+}
+
+// sliceStore holds the tuples of one slice on one side of a shared join.
+type sliceStore struct {
+	mode    StoreMode
+	grouped bool
+	groups  map[string]*tupleGroup // by qs.Key(); nil when list mode
+	list    []event.Tuple
+	count   int
+}
+
+func newSliceStore(mode StoreMode) *sliceStore {
+	s := &sliceStore{mode: mode}
+	switch mode {
+	case StoreList:
+		s.grouped = false
+	default:
+		s.grouped = true
+		s.groups = make(map[string]*tupleGroup)
+	}
+	return s
+}
+
+// Add inserts a tuple (saved once — no copies inside a slice, paper §3.2.2).
+func (s *sliceStore) Add(t event.Tuple) {
+	s.count++
+	if !s.grouped {
+		s.list = append(s.list, t)
+		return
+	}
+	k := t.QuerySet.Key()
+	g := s.groups[k]
+	if g == nil {
+		g = &tupleGroup{qs: t.QuerySet.Clone()}
+		s.groups[k] = g
+	}
+	g.tuples = append(g.tuples, t)
+	if s.mode == StoreAdaptive && s.count >= minTuplesForSwitch &&
+		float64(s.count) < adaptiveSwitchThreshold*float64(len(s.groups)) {
+		s.degenerate()
+	}
+}
+
+// regroup rebuilds the query-set groups of a list-mode store (the inverse
+// marker transition of §3.2.3, taken when the active query count drops back
+// under the threshold).
+func (s *sliceStore) regroup() {
+	if s.grouped {
+		return
+	}
+	s.groups = make(map[string]*tupleGroup)
+	s.grouped = true
+	list := s.list
+	s.list = nil
+	s.count = 0
+	for _, t := range list {
+		s.Add(t)
+	}
+}
+
+// setMode switches the store's layout to match a session marker (§3.2.3).
+func (s *sliceStore) setMode(m StoreMode) {
+	s.mode = m
+	switch m {
+	case StoreList:
+		s.degenerate()
+	case StoreGrouped:
+		s.regroup()
+	}
+}
+
+// degenerate flattens a grouped store into list mode (the marker-triggered
+// data-structure change of §3.2.3 applies this to all slices at once).
+func (s *sliceStore) degenerate() {
+	if !s.grouped {
+		return
+	}
+	s.list = make([]event.Tuple, 0, s.count)
+	for _, g := range s.groups {
+		s.list = append(s.list, g.tuples...)
+	}
+	s.groups = nil
+	s.grouped = false
+}
+
+// Len returns the number of stored tuples.
+func (s *sliceStore) Len() int { return s.count }
+
+// Grouped reports whether the store is currently in grouped mode.
+func (s *sliceStore) Grouped() bool { return s.grouped }
+
+// GroupCount returns the number of query-set groups (0 in list mode).
+func (s *sliceStore) GroupCount() int { return len(s.groups) }
+
+// ForEachGroup visits tuples group-wise. In list mode it visits one pseudo
+// group per tuple whose query-set is the tuple's own.
+func (s *sliceStore) ForEachGroup(fn func(qs bitset.Bits, tuples []event.Tuple)) {
+	if s.grouped {
+		for _, g := range s.groups {
+			fn(g.qs, g.tuples)
+		}
+		return
+	}
+	for i := range s.list {
+		fn(s.list[i].QuerySet, s.list[i:i+1])
+	}
+}
+
+// All returns every stored tuple (order unspecified).
+func (s *sliceStore) All() []event.Tuple {
+	if !s.grouped {
+		return s.list
+	}
+	out := make([]event.Tuple, 0, s.count)
+	for _, g := range s.groups {
+		out = append(out, g.tuples...)
+	}
+	return out
+}
+
+// joinStores produces joined tuples for every key-equal pair whose
+// query-sets intersect under mask; results carry qsA ∩ qsB ∩ mask. This is
+// the slice ⋈ slice kernel: grouped×grouped skips non-intersecting group
+// pairs wholesale (paper §3.1.4), every other combination hashes one side.
+func joinStores(a, b *sliceStore, mask bitset.Bits, emit func(event.JoinedTuple)) {
+	if a.count == 0 || b.count == 0 || mask.IsEmpty() {
+		return
+	}
+	// Build a hash index over the smaller side, then probe group-wise so
+	// the group-level query-set test still prunes work.
+	build, probe := a, b
+	swapped := false
+	if b.count < a.count {
+		build, probe = b, a
+		swapped = true
+	}
+	type bucket struct {
+		qs     bitset.Bits
+		tuples []event.Tuple
+	}
+	idx := make(map[int64][]bucket, build.count)
+	build.ForEachGroup(func(qs bitset.Bits, tuples []event.Tuple) {
+		if !qs.Intersects(mask) {
+			return
+		}
+		for i := range tuples {
+			k := tuples[i].Key
+			idx[k] = append(idx[k], bucket{qs: qs, tuples: tuples[i : i+1]})
+		}
+	})
+	probe.ForEachGroup(func(pqs bitset.Bits, ptuples []event.Tuple) {
+		if !pqs.Intersects(mask) {
+			return
+		}
+		for i := range ptuples {
+			pt := &ptuples[i]
+			for _, bk := range idx[pt.Key] {
+				if !bk.qs.Intersects(pqs) {
+					continue
+				}
+				for j := range bk.tuples {
+					bt := &bk.tuples[j]
+					qs := bk.qs.And(pqs)
+					qs.AndInPlace(mask)
+					if qs.IsEmpty() {
+						continue
+					}
+					jt := event.JoinedTuple{Key: pt.Key, QuerySet: qs}
+					left, right := bt, pt
+					if swapped {
+						left, right = pt, bt
+					}
+					jt.Left = left.Fields
+					jt.Right = right.Fields
+					jt.Time = left.Time
+					if right.Time > jt.Time {
+						jt.Time = right.Time
+					}
+					jt.IngestNanos = left.IngestNanos
+					if right.IngestNanos > jt.IngestNanos {
+						jt.IngestNanos = right.IngestNanos
+					}
+					emit(jt)
+				}
+			}
+		}
+	})
+}

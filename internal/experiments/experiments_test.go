@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyScale keeps experiment tests fast.
+func tinyScale() Scale {
+	return Scale{Warmup: 80 * time.Millisecond, Measure: 200 * time.Millisecond}
+}
+
+func TestRunSC1AStreamAgg(t *testing.T) {
+	sc := tinyScale()
+	m := Run(apply(Params{Scenario: "SC1", QueriesPerSec: 100, MaxParallelQ: 20}, AggK, AStream, 1, sc, 1))
+	if m.SlowestTupS <= 0 {
+		t.Fatalf("no throughput measured: %+v", m)
+	}
+	if m.ActiveQueries < 1 {
+		t.Fatalf("no active queries: %+v", m)
+	}
+	if m.OverallTupS < m.SlowestTupS {
+		t.Fatalf("overall < slowest: %+v", m)
+	}
+	if m.Row() == "" {
+		t.Fatal("empty row")
+	}
+}
+
+func TestRunSC2AStreamJoin(t *testing.T) {
+	sc := tinyScale()
+	m := Run(apply(Params{Scenario: "SC2", BatchN: 5, BatchEvery: 2 * time.Second}, JoinK, AStream, 1, sc, 2))
+	if m.SlowestTupS <= 0 {
+		t.Fatalf("no throughput: %+v", m)
+	}
+}
+
+func TestRunBaselineSingleQuery(t *testing.T) {
+	sc := tinyScale()
+	m := Run(apply(Params{Scenario: "SC1", MaxParallelQ: 1, QueriesPerSec: 1}, AggK, Baseline, 1, sc, 3))
+	if m.SlowestTupS <= 0 {
+		t.Fatalf("baseline no throughput: %+v", m)
+	}
+}
+
+// TestSharingBeatsBaseline is the paper's headline claim at mini scale:
+// with ~8 concurrent queries, AStream's overall query-serving throughput
+// exceeds the baseline's, which degrades as the fork multiplies work.
+func TestSharingBeatsBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive comparison")
+	}
+	sc := Scale{Warmup: 200 * time.Millisecond, Measure: 500 * time.Millisecond}
+	p := Params{Scenario: "SC1", QueriesPerSec: 100, MaxParallelQ: 8}
+	a := Run(apply(p, AggK, AStream, 1, sc, 4))
+	b := Run(apply(p, AggK, Baseline, 1, sc, 4))
+	if a.OverallTupS <= b.OverallTupS {
+		t.Logf("astream: %s", a.Row())
+		t.Logf("baseline: %s", b.Row())
+		t.Fatalf("sharing did not win at 8 queries: astream overall %.0f vs baseline %.0f",
+			a.OverallTupS, b.OverallTupS)
+	}
+}
+
+func TestFig10Timeline(t *testing.T) {
+	sc := tinyScale()
+	pts := Fig10DeployTimeline(AStream, 5, sc)
+	if len(pts) != 5 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Ordinal != i+1 {
+			t.Fatalf("ordinals wrong: %+v", pts)
+		}
+	}
+}
+
+func TestFig16TimelinePhases(t *testing.T) {
+	sc := Scale{Warmup: 50 * time.Millisecond, Measure: 120 * time.Millisecond}
+	pts := Fig16Timeline(sc)
+	if len(pts) != 6 {
+		t.Fatalf("phases = %d, want 6", len(pts))
+	}
+	// Query count rises in phase 2 and falls in phase 3.
+	if pts[1].Queries <= pts[0].Queries {
+		t.Fatalf("phase 2 should add queries: %+v", pts[:2])
+	}
+	if pts[2].Queries >= pts[1].Queries {
+		t.Fatalf("phase 3 should drop queries: %+v", pts[1:3])
+	}
+}
+
+func TestFig18Shares(t *testing.T) {
+	sc := tinyScale()
+	shares := Fig18ComponentOverhead(sc, []int{4})
+	if len(shares) != 1 {
+		t.Fatalf("shares = %+v", shares)
+	}
+	s := shares[0]
+	sum := s.QuerySetGen + s.Bitset + s.RouterC
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("component fractions sum to %.3f: %+v", sum, s)
+	}
+}
+
+func TestFig19Impact(t *testing.T) {
+	sc := tinyScale()
+	pts := Fig19Impact(sc, "SC1", []int{5}, []int{5})
+	if len(pts) != 1 || pts[0].BeforeTupS <= 0 || pts[0].AfterTupS <= 0 {
+		t.Fatalf("impact = %+v", pts)
+	}
+}
+
+func TestParamsLabel(t *testing.T) {
+	p := Params{Scenario: "SC1", QueriesPerSec: 10, MaxParallelQ: 60}
+	if p.Label() != "10q/s 60qp" {
+		t.Fatalf("label = %q", p.Label())
+	}
+	p2 := Params{Scenario: "SC2", BatchN: 50, BatchEvery: 10 * time.Second}
+	if p2.Label() != "50q/10s" {
+		t.Fatalf("label = %q", p2.Label())
+	}
+	p3 := Params{Scenario: "SC1", MaxParallelQ: 1}
+	if p3.Label() != "single query" {
+		t.Fatalf("label = %q", p3.Label())
+	}
+}

@@ -1,0 +1,168 @@
+package expr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"astream/internal/event"
+)
+
+func tup(key int64, fields ...int64) event.Tuple {
+	t := event.Tuple{Key: key}
+	copy(t.Fields[:], fields)
+	return t
+}
+
+func TestOpCompare(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{LT, 1, 2, true}, {LT, 2, 2, false}, {LT, 3, 2, false},
+		{GT, 3, 2, true}, {GT, 2, 2, false},
+		{EQ, 2, 2, true}, {EQ, 1, 2, false},
+		{LE, 2, 2, true}, {LE, 3, 2, false},
+		{GE, 2, 2, true}, {GE, 1, 2, false},
+		{NE, 1, 2, true}, {NE, 2, 2, false},
+	}
+	for _, c := range cases {
+		if got := c.op.Compare(c.a, c.b); got != c.want {
+			t.Errorf("%d %s %d = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParseOp(t *testing.T) {
+	for s, want := range map[string]Op{
+		"<": LT, ">": GT, "=": EQ, "==": EQ, "<=": LE, ">=": GE, "!=": NE, "<>": NE,
+	} {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp("=<"); err == nil {
+		t.Error("ParseOp should reject unknown operators")
+	}
+}
+
+func TestComparisonEval(t *testing.T) {
+	tu := tup(42, 10, 20, 30, 40, 50)
+	if !(Comparison{Field: 2, Op: EQ, Value: 30}).Eval(&tu) {
+		t.Error("f2 == 30 should hold")
+	}
+	if (Comparison{Field: 0, Op: GT, Value: 10}).Eval(&tu) {
+		t.Error("f0 > 10 should not hold")
+	}
+	if !(Comparison{Field: KeyField, Op: EQ, Value: 42}).Eval(&tu) {
+		t.Error("key == 42 should hold")
+	}
+}
+
+func TestPredicateConjunction(t *testing.T) {
+	tu := tup(1, 5, 6, 7, 8, 9)
+	p := True().
+		And(Comparison{Field: 0, Op: GE, Value: 5}).
+		And(Comparison{Field: 4, Op: LT, Value: 10})
+	if !p.Eval(&tu) {
+		t.Error("conjunction should hold")
+	}
+	p2 := p.And(Comparison{Field: 1, Op: EQ, Value: 0})
+	if p2.Eval(&tu) {
+		t.Error("conjunction with false clause should fail")
+	}
+	// And must not mutate the receiver.
+	if len(p.Conj) != 2 {
+		t.Error("And mutated receiver")
+	}
+}
+
+func TestTruePredicate(t *testing.T) {
+	tu := tup(0)
+	if !True().Eval(&tu) {
+		t.Error("empty predicate must be TRUE")
+	}
+	if True().String() != "TRUE" {
+		t.Error("True().String() should be TRUE")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Comparison{Field: event.NumFields, Op: LT, Value: 1}).Validate(); err == nil {
+		t.Error("out-of-range field must fail validation")
+	}
+	if err := (Comparison{Field: KeyField, Op: LT, Value: 1}).Validate(); err != nil {
+		t.Errorf("key field must validate: %v", err)
+	}
+	bad := True().And(Comparison{Field: 99, Op: LT, Value: 1})
+	if err := bad.Validate(); err == nil {
+		t.Error("predicate with bad comparison must fail validation")
+	}
+}
+
+func TestSelectivityEstimateAgainstSampling(t *testing.T) {
+	const fieldMax = 1000
+	rng := rand.New(rand.NewSource(17))
+	preds := []Predicate{
+		True().And(Comparison{Field: 0, Op: LT, Value: 500}),
+		True().And(Comparison{Field: 1, Op: GE, Value: 900}),
+		True().And(Comparison{Field: 0, Op: LT, Value: 500}).And(Comparison{Field: 1, Op: LT, Value: 500}),
+	}
+	for _, p := range preds {
+		n, hit := 20000, 0
+		for i := 0; i < n; i++ {
+			tu := event.Tuple{}
+			for f := 0; f < event.NumFields; f++ {
+				tu.Fields[f] = rng.Int63n(fieldMax)
+			}
+			if p.Eval(&tu) {
+				hit++
+			}
+		}
+		got := float64(hit) / float64(n)
+		want := p.Selectivity(fieldMax)
+		if diff := got - want; diff > 0.03 || diff < -0.03 {
+			t.Errorf("predicate %s: sampled selectivity %.3f vs estimate %.3f", p, got, want)
+		}
+	}
+}
+
+func TestQuickOppositeOpsPartition(t *testing.T) {
+	// For any tuple and threshold: (< v) xor (>= v) is always true.
+	f := func(key int64, f0 int64, v int64) bool {
+		tu := tup(key, f0)
+		lt := Comparison{Field: 0, Op: LT, Value: v}.Eval(&tu)
+		ge := Comparison{Field: 0, Op: GE, Value: v}.Eval(&tu)
+		return lt != ge
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPredicateOrderIrrelevant(t *testing.T) {
+	f := func(key, f0, f1, v0, v1 int64) bool {
+		tu := tup(key, f0, f1)
+		c0 := Comparison{Field: 0, Op: LE, Value: v0}
+		c1 := Comparison{Field: 1, Op: GT, Value: v1}
+		a := True().And(c0).And(c1)
+		b := True().And(c1).And(c0)
+		return a.Eval(&tu) == b.Eval(&tu)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	c := Comparison{Field: 3, Op: GE, Value: 7}
+	if c.String() != "f3 >= 7" {
+		t.Errorf("String() = %q", c.String())
+	}
+	k := Comparison{Field: KeyField, Op: EQ, Value: 9}
+	if k.String() != "key == 9" {
+		t.Errorf("String() = %q", k.String())
+	}
+}

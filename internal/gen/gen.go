@@ -1,0 +1,204 @@
+// Package gen implements the paper's workload generators (§4.2): the data
+// generator (round-robin keys, uniform random fields), the selection
+// predicate generator, the join and aggregation query generators (Figures 7
+// and 8), and the complex-query generator of §4.7.
+//
+// All generators are deterministic given their seed, which is what makes
+// experiment runs and replays comparable.
+package gen
+
+import (
+	"math/rand"
+
+	"astream/internal/core"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// DataConfig parameterizes tuple generation.
+type DataConfig struct {
+	// Keys is the number of distinct keys (paper §4.4: 1000).
+	Keys int64
+	// FieldMax bounds the uniform random field values.
+	FieldMax int64
+}
+
+// DefaultDataConfig matches the paper's setup.
+func DefaultDataConfig() DataConfig {
+	return DataConfig{Keys: 1000, FieldMax: 1000}
+}
+
+// Data produces tuples with round-robin keys ("key ← key+1 % keymax", which
+// balances partitions) and uniform random fields.
+type Data struct {
+	cfg DataConfig
+	rng *rand.Rand
+	key int64
+}
+
+// NewData creates a deterministic data generator.
+func NewData(cfg DataConfig, seed int64) *Data {
+	if cfg.Keys <= 0 {
+		cfg.Keys = 1
+	}
+	if cfg.FieldMax <= 0 {
+		cfg.FieldMax = 1
+	}
+	return &Data{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next tuple with the given event-time.
+func (d *Data) Next(at event.Time) event.Tuple {
+	t := event.Tuple{Key: d.key, Time: at}
+	d.key = (d.key + 1) % d.cfg.Keys
+	for i := range t.Fields {
+		t.Fields[i] = d.rng.Int63n(d.cfg.FieldMax)
+	}
+	return t
+}
+
+// QueryConfig parameterizes query generation.
+type QueryConfig struct {
+	// FieldMax bounds predicate constants; match DataConfig.FieldMax.
+	FieldMax int64
+	// WindowMax bounds window lengths (event-time units).
+	WindowMax int64
+	// WindowMin floors window lengths.
+	WindowMin int64
+	// Streams is the engine's stream count (join arity bound).
+	Streams int
+	// MinSelectivity floors each predicate's estimated selectivity so
+	// generated queries produce observable output.
+	MinSelectivity float64
+}
+
+// DefaultQueryConfig matches the paper's templates on a laptop-scale window
+// range.
+func DefaultQueryConfig(streams int) QueryConfig {
+	return QueryConfig{FieldMax: 1000, WindowMax: 64, WindowMin: 4, Streams: streams, MinSelectivity: 0.2}
+}
+
+// Queries generates random queries per the paper's templates.
+type Queries struct {
+	cfg QueryConfig
+	rng *rand.Rand
+}
+
+// NewQueries creates a deterministic query generator.
+func NewQueries(cfg QueryConfig, seed int64) *Queries {
+	if cfg.WindowMin <= 0 {
+		cfg.WindowMin = 1
+	}
+	if cfg.WindowMax < cfg.WindowMin {
+		cfg.WindowMax = cfg.WindowMin
+	}
+	return &Queries{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Predicate generates one random selection predicate per §4.2.2: a random
+// field, a random comparison operator, and a random constant, re-drawn until
+// the estimated selectivity clears the configured floor.
+func (g *Queries) Predicate() expr.Predicate {
+	ops := []expr.Op{expr.LT, expr.GT, expr.EQ, expr.LE, expr.GE}
+	for tries := 0; ; tries++ {
+		c := expr.Comparison{
+			Field: g.rng.Intn(event.NumFields),
+			Op:    ops[g.rng.Intn(len(ops))],
+			Value: g.rng.Int63n(g.cfg.FieldMax),
+		}
+		p := expr.True().And(c)
+		if p.Selectivity(g.cfg.FieldMax) >= g.cfg.MinSelectivity || tries > 64 {
+			return p
+		}
+	}
+}
+
+// windowSpec draws "length = random(1, windowmax), slide = random(1,
+// length)" per §4.2.3. tumblingOnly forces slide == length (multi-stage
+// queries require it).
+func (g *Queries) windowSpec(tumblingOnly bool) window.Spec {
+	span := g.cfg.WindowMax - g.cfg.WindowMin + 1
+	length := event.Time(g.cfg.WindowMin + g.rng.Int63n(span))
+	if tumblingOnly {
+		return window.TumblingSpec(length)
+	}
+	slide := event.Time(1 + g.rng.Int63n(int64(length)))
+	if slide == length {
+		return window.TumblingSpec(length)
+	}
+	return window.SlidingSpec(length, slide)
+}
+
+// Aggregation generates a Figure-8 query: SELECT SUM(FIELD1) … GROUPBY KEY
+// with one random predicate and a random window.
+func (g *Queries) Aggregation() *core.Query {
+	return &core.Query{
+		Kind:       core.KindAggregation,
+		Arity:      1,
+		Predicates: []expr.Predicate{g.Predicate()},
+		Window:     g.windowSpec(false),
+		Agg:        sqlstream.AggSum,
+		AggField:   0,
+	}
+}
+
+// SessionAggregation generates a session-window variant.
+func (g *Queries) SessionAggregation() *core.Query {
+	gap := event.Time(g.cfg.WindowMin + g.rng.Int63n(g.cfg.WindowMax-g.cfg.WindowMin+1))
+	return &core.Query{
+		Kind:       core.KindAggregation,
+		Arity:      1,
+		Predicates: []expr.Predicate{g.Predicate()},
+		Window:     window.SessionSpec(gap),
+		Agg:        sqlstream.AggSum,
+		AggField:   0,
+	}
+}
+
+// Join generates a Figure-7 query: a binary windowed equi-join with one
+// random predicate per stream.
+func (g *Queries) Join() *core.Query {
+	return &core.Query{
+		Kind:       core.KindJoin,
+		Arity:      2,
+		Predicates: []expr.Predicate{g.Predicate(), g.Predicate()},
+		Window:     g.windowSpec(false),
+		AggField:   -1,
+	}
+}
+
+// Complex generates a §4.7 query: a selection, an n-ary windowed join with
+// 2 ≤ n ≤ min(5, streams), and a windowed aggregation, pipelined.
+func (g *Queries) Complex() *core.Query {
+	maxArity := g.cfg.Streams
+	if maxArity > 5 {
+		maxArity = 5
+	}
+	if maxArity < 2 {
+		maxArity = 2
+	}
+	arity := 2 + g.rng.Intn(maxArity-1)
+	preds := make([]expr.Predicate, arity)
+	for i := range preds {
+		preds[i] = g.Predicate()
+	}
+	return &core.Query{
+		Kind:       core.KindComplex,
+		Arity:      arity,
+		Predicates: preds,
+		Window:     g.windowSpec(true),
+		AggWindow:  g.windowSpec(true),
+		Agg:        sqlstream.AggSum,
+		AggField:   0,
+	}
+}
+
+// Mixed draws uniformly between Join and Aggregation queries.
+func (g *Queries) Mixed() *core.Query {
+	if g.cfg.Streams >= 2 && g.rng.Intn(2) == 0 {
+		return g.Join()
+	}
+	return g.Aggregation()
+}

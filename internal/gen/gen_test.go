@@ -1,0 +1,114 @@
+package gen
+
+import (
+	"testing"
+
+	"astream/internal/core"
+	"astream/internal/event"
+	"astream/internal/window"
+)
+
+func TestDataRoundRobinKeys(t *testing.T) {
+	d := NewData(DataConfig{Keys: 5, FieldMax: 100}, 1)
+	for i := 0; i < 25; i++ {
+		tu := d.Next(event.Time(i))
+		if tu.Key != int64(i%5) {
+			t.Fatalf("tuple %d key = %d, want %d", i, tu.Key, i%5)
+		}
+		if tu.Time != event.Time(i) {
+			t.Fatalf("tuple time wrong")
+		}
+		for f, v := range tu.Fields {
+			if v < 0 || v >= 100 {
+				t.Fatalf("field %d = %d out of range", f, v)
+			}
+		}
+	}
+}
+
+func TestDataDeterministic(t *testing.T) {
+	a := NewData(DefaultDataConfig(), 42)
+	b := NewData(DefaultDataConfig(), 42)
+	for i := 0; i < 100; i++ {
+		ta, tb := a.Next(event.Time(i)), b.Next(event.Time(i))
+		if ta.Key != tb.Key || ta.Fields != tb.Fields || ta.Time != tb.Time {
+			t.Fatal("same seed must produce identical tuples")
+		}
+	}
+	c := NewData(DefaultDataConfig(), 43)
+	diff := false
+	for i := 0; i < 100; i++ {
+		if a.Next(0).Fields != c.Next(0).Fields {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestPredicateSelectivityFloor(t *testing.T) {
+	g := NewQueries(QueryConfig{FieldMax: 1000, WindowMax: 10, WindowMin: 2, Streams: 2, MinSelectivity: 0.3}, 7)
+	for i := 0; i < 200; i++ {
+		p := g.Predicate()
+		if s := p.Selectivity(1000); s < 0.3 {
+			t.Fatalf("predicate %v selectivity %.3f below floor", p, s)
+		}
+	}
+}
+
+func TestGeneratedQueriesValidate(t *testing.T) {
+	g := NewQueries(DefaultQueryConfig(5), 11)
+	for i := 0; i < 300; i++ {
+		for _, q := range []*core.Query{g.Aggregation(), g.Join(), g.Complex(), g.SessionAggregation(), g.Mixed()} {
+			if err := q.Validate(5); err != nil {
+				t.Fatalf("generated query invalid: %v (%+v)", err, q)
+			}
+		}
+	}
+}
+
+func TestComplexArityBounds(t *testing.T) {
+	g := NewQueries(DefaultQueryConfig(5), 3)
+	seen := map[int]bool{}
+	for i := 0; i < 500; i++ {
+		q := g.Complex()
+		if q.Arity < 2 || q.Arity > 5 {
+			t.Fatalf("complex arity %d out of bounds", q.Arity)
+		}
+		if q.Window.Kind != window.Tumbling || q.AggWindow.Kind != window.Tumbling {
+			t.Fatal("complex queries must use tumbling windows")
+		}
+		seen[q.Arity] = true
+	}
+	for a := 2; a <= 5; a++ {
+		if !seen[a] {
+			t.Errorf("arity %d never generated", a)
+		}
+	}
+}
+
+func TestWindowBounds(t *testing.T) {
+	cfg := DefaultQueryConfig(2)
+	g := NewQueries(cfg, 5)
+	for i := 0; i < 300; i++ {
+		q := g.Aggregation()
+		if int64(q.Window.Length) < cfg.WindowMin || int64(q.Window.Length) > cfg.WindowMax {
+			t.Fatalf("window length %v outside [%d,%d]", q.Window.Length, cfg.WindowMin, cfg.WindowMax)
+		}
+		if q.Window.Kind == window.Sliding && (q.Window.Slide <= 0 || q.Window.Slide > q.Window.Length) {
+			t.Fatalf("bad slide %v", q.Window.Slide)
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	a := NewQueries(DefaultQueryConfig(3), 9)
+	b := NewQueries(DefaultQueryConfig(3), 9)
+	for i := 0; i < 50; i++ {
+		qa, qb := a.Mixed(), b.Mixed()
+		if qa.Kind != qb.Kind || qa.Window != qb.Window || len(qa.Predicates) != len(qb.Predicates) {
+			t.Fatal("same seed must generate identical queries")
+		}
+	}
+}

@@ -1,0 +1,257 @@
+// Package metrics implements the measurement instruments of the paper's
+// evaluation (§4.3): event-time latency, query deployment latency,
+// slowest/overall data throughput, query throughput, and sustainability —
+// plus the time-series recorder behind the Figure 16 timelines.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Histogram records durations in logarithmic buckets (2 % relative error is
+// plenty for latency reporting) with exact count/sum.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets map[int]uint64
+	count   uint64
+	sum     float64
+	min     float64
+	max     float64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{buckets: make(map[int]uint64), min: math.Inf(1), max: math.Inf(-1)}
+}
+
+const histGamma = 1.02
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	v := float64(d)
+	if v < 1 {
+		v = 1
+	}
+	idx := int(math.Ceil(math.Log(v) / math.Log(histGamma)))
+	h.mu.Lock()
+	h.buckets[idx]++
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.sum / float64(h.count))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	type kv struct {
+		idx int
+		n   uint64
+	}
+	entries := make([]kv, 0, len(h.buckets))
+	for i, n := range h.buckets {
+		entries = append(entries, kv{i, n})
+	}
+	sort.Slice(entries, func(a, b int) bool { return entries[a].idx < entries[b].idx })
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var acc uint64
+	for _, e := range entries {
+		acc += e.n
+		if acc > target {
+			return time.Duration(math.Pow(histGamma, float64(e.idx)))
+		}
+	}
+	return time.Duration(h.max)
+}
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return time.Duration(h.max)
+}
+
+// Snapshot renders the histogram for reports.
+func (h *Histogram) Snapshot() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		h.Count(), h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max().Round(time.Microsecond))
+}
+
+// Meter measures a rate over wall-clock time.
+type Meter struct {
+	mu    sync.Mutex
+	n     uint64
+	start time.Time
+	mark  time.Time
+	markN uint64
+	now   func() time.Time
+}
+
+// NewMeter creates a meter using the given clock (nil ⇒ time.Now).
+func NewMeter(now func() time.Time) *Meter {
+	if now == nil {
+		now = time.Now
+	}
+	t := now()
+	return &Meter{start: t, mark: t, now: now}
+}
+
+// Add records n events.
+func (m *Meter) Add(n uint64) {
+	m.mu.Lock()
+	m.n += n
+	m.mu.Unlock()
+}
+
+// Total returns the event count so far.
+func (m *Meter) Total() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.n
+}
+
+// Rate returns events/second since the meter started.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el := m.now().Sub(m.start).Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.n) / el
+}
+
+// WindowRate returns events/second since the previous WindowRate call (or
+// meter start) and advances the window mark.
+func (m *Meter) WindowRate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	el := now.Sub(m.mark).Seconds()
+	dn := m.n - m.markN
+	m.mark = now
+	m.markN = m.n
+	if el <= 0 {
+		return 0
+	}
+	return float64(dn) / el
+}
+
+// TimePoint is one sample of the Figure 16 timeline.
+type TimePoint struct {
+	At         time.Duration // since recording start
+	Throughput float64       // tuples/sec in the sample window
+	LatencyMS  float64       // mean event-time latency, milliseconds
+	Queries    int           // active query count
+}
+
+// Timeline records periodic samples for timeline plots.
+type Timeline struct {
+	mu     sync.Mutex
+	points []TimePoint
+	start  time.Time
+}
+
+// NewTimeline creates a recorder anchored at now.
+func NewTimeline(start time.Time) *Timeline {
+	return &Timeline{start: start}
+}
+
+// Sample appends one point.
+func (tl *Timeline) Sample(at time.Time, throughput, latencyMS float64, queries int) {
+	tl.mu.Lock()
+	tl.points = append(tl.points, TimePoint{
+		At: at.Sub(tl.start), Throughput: throughput, LatencyMS: latencyMS, Queries: queries,
+	})
+	tl.mu.Unlock()
+}
+
+// Points returns the recorded samples.
+func (tl *Timeline) Points() []TimePoint {
+	tl.mu.Lock()
+	defer tl.mu.Unlock()
+	out := make([]TimePoint, len(tl.points))
+	copy(out, tl.points)
+	return out
+}
+
+// Sustainability watches a latency signal and declares a workload
+// unsustainable when the signal keeps growing (the paper's criterion for
+// Flink under ad-hoc load: "ever-increasing latency").
+type Sustainability struct {
+	mu      sync.Mutex
+	samples []float64
+}
+
+// Observe records a latency sample (any monotone unit).
+func (s *Sustainability) Observe(v float64) {
+	s.mu.Lock()
+	s.samples = append(s.samples, v)
+	s.mu.Unlock()
+}
+
+// Sustainable reports false when the last half of the samples trend strictly
+// above the first half by more than 2× — a robust "keeps growing" detector
+// that ignores noise and warmup.
+func (s *Sustainability) Sustainable() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := len(s.samples)
+	if n < 4 {
+		return true
+	}
+	half := n / 2
+	first, second := 0.0, 0.0
+	for i := 0; i < half; i++ {
+		first += s.samples[i]
+	}
+	for i := n - half; i < n; i++ {
+		second += s.samples[i]
+	}
+	first /= float64(half)
+	second /= float64(half)
+	if first <= 0 {
+		return second <= 1
+	}
+	return second <= first*2
+}

@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should read zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	mean := h.Mean()
+	if mean < 50*time.Millisecond || mean > 52*time.Millisecond {
+		t.Fatalf("mean = %v, want ≈50.5ms", mean)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 45*time.Millisecond || p50 > 56*time.Millisecond {
+		t.Fatalf("p50 = %v, want ≈50ms", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 90*time.Millisecond || p99 > 110*time.Millisecond {
+		t.Fatalf("p99 = %v, want ≈99ms", p99)
+	}
+	if h.Max() != 100*time.Millisecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	if h.Snapshot() == "" {
+		t.Fatal("snapshot empty")
+	}
+}
+
+func TestHistogramRelativeError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	h := NewHistogram()
+	var vals []float64
+	for i := 0; i < 5000; i++ {
+		v := time.Duration(rng.Intn(1e9) + 1)
+		vals = append(vals, float64(v))
+		h.Observe(v)
+	}
+	// p95 within 5 % of exact.
+	exact := exactQuantile(vals, 0.95)
+	got := float64(h.Quantile(0.95))
+	if diff := got/exact - 1; diff > 0.05 || diff < -0.05 {
+		t.Fatalf("p95 = %.0f, exact %.0f (%.1f%% off)", got, exact, diff*100)
+	}
+}
+
+func exactQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	for i := range s {
+		for j := i + 1; j < len(s); j++ {
+			if s[j] < s[i] {
+				s[i], s[j] = s[j], s[i]
+			}
+		}
+	}
+	return s[int(q*float64(len(s)))]
+}
+
+func TestMeter(t *testing.T) {
+	now := time.Unix(0, 0)
+	clock := func() time.Time { return now }
+	m := NewMeter(clock)
+	m.Add(100)
+	now = now.Add(2 * time.Second)
+	if r := m.Rate(); r != 50 {
+		t.Fatalf("rate = %v, want 50", r)
+	}
+	if m.Total() != 100 {
+		t.Fatalf("total = %d", m.Total())
+	}
+	// Window rate resets the mark.
+	if r := m.WindowRate(); r != 50 {
+		t.Fatalf("window rate = %v, want 50", r)
+	}
+	m.Add(30)
+	now = now.Add(time.Second)
+	if r := m.WindowRate(); r != 30 {
+		t.Fatalf("second window rate = %v, want 30", r)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	start := time.Unix(100, 0)
+	tl := NewTimeline(start)
+	tl.Sample(start.Add(time.Second), 1000, 5, 3)
+	tl.Sample(start.Add(2*time.Second), 900, 6, 4)
+	pts := tl.Points()
+	if len(pts) != 2 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].At != time.Second || pts[0].Throughput != 1000 || pts[0].Queries != 3 {
+		t.Fatalf("point 0 = %+v", pts[0])
+	}
+	// Points is a copy.
+	pts[0].Queries = 99
+	if tl.Points()[0].Queries == 99 {
+		t.Fatal("Points must return a copy")
+	}
+}
+
+func TestSustainability(t *testing.T) {
+	var s Sustainability
+	if !s.Sustainable() {
+		t.Fatal("empty signal is sustainable")
+	}
+	// Flat latency: sustainable.
+	for i := 0; i < 20; i++ {
+		s.Observe(100)
+	}
+	if !s.Sustainable() {
+		t.Fatal("flat latency must be sustainable")
+	}
+	// Growing latency: unsustainable.
+	var g Sustainability
+	for i := 0; i < 20; i++ {
+		g.Observe(float64(i * i * 10))
+	}
+	if g.Sustainable() {
+		t.Fatal("quadratically growing latency must be unsustainable")
+	}
+	// Noisy but bounded: sustainable.
+	var n Sustainability
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		n.Observe(100 + float64(rng.Intn(50)))
+	}
+	if !n.Sustainable() {
+		t.Fatal("bounded noisy latency must be sustainable")
+	}
+}

@@ -1,0 +1,218 @@
+package spe
+
+import (
+	"fmt"
+	"sync"
+
+	"astream/internal/event"
+)
+
+// Job is a deployed topology: one goroutine per operator instance, channels
+// wired according to the DAG. Sources are fed through SourceContexts; the job
+// finishes when every source is closed and all elements have drained.
+type Job struct {
+	topo     *Topology
+	insts    map[*Node][]*instanceRT
+	sources  map[*Node][]*SourceContext
+	wg       sync.WaitGroup
+	deployed bool
+}
+
+// DeployOption configures a deployment.
+type DeployOption func(*deployConfig)
+
+type deployConfig struct {
+	codec    EdgeCodec
+	snapSink SnapshotSink
+}
+
+// WithEdgeCodec installs a codec applied to every element crossing cluster
+// node boundaries (see Node.AssignNodes).
+func WithEdgeCodec(c EdgeCodec) DeployOption {
+	return func(d *deployConfig) { d.codec = c }
+}
+
+// WithSnapshotSink installs the receiver for checkpoint snapshots.
+func WithSnapshotSink(s SnapshotSink) DeployOption {
+	return func(d *deployConfig) { d.snapSink = s }
+}
+
+// Deploy validates the topology, builds every instance, wires the exchanges,
+// and starts the goroutines. The returned Job is running and waiting for
+// source input.
+func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	var cfg deployConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	j := &Job{
+		topo:    t,
+		insts:   make(map[*Node][]*instanceRT),
+		sources: make(map[*Node][]*SourceContext),
+	}
+
+	// Count senders per (node, instance): every upstream instance of every
+	// input port is one sender.
+	for _, n := range t.nodes {
+		if n.isSource {
+			continue
+		}
+		senders := 0
+		for _, in := range n.inputs {
+			senders += in.from.parallelism
+		}
+		rts := make([]*instanceRT, n.parallelism)
+		for i := 0; i < n.parallelism; i++ {
+			rt := newInstanceRT(n, i, n.newLogic(i), senders, t.channelCap)
+			rt.snapSink = cfg.snapSink
+			rts[i] = rt
+		}
+		j.insts[n] = rts
+	}
+
+	// Build emitters. Sender IDs within an inbox are assigned in input-port
+	// order, then upstream-instance order — the same enumeration used for
+	// the sender count above.
+	// senderBase[node][port] = first sender id of that port.
+	senderBase := map[*Node][]int{}
+	for _, n := range t.nodes {
+		if n.isSource {
+			continue
+		}
+		bases := make([]int, len(n.inputs))
+		acc := 0
+		for pi, in := range n.inputs {
+			bases[pi] = acc
+			acc += in.from.parallelism
+		}
+		senderBase[n] = bases
+	}
+
+	emitterFor := func(u *Node, ui int) *Emitter {
+		em := &Emitter{codec: cfg.codec}
+		for _, d := range t.nodes {
+			for pi, in := range d.inputs {
+				if in.from != u {
+					continue
+				}
+				c := consumer{mode: in.mode}
+				for di := 0; di < d.parallelism; di++ {
+					c.targets = append(c.targets, target{
+						ch:        j.insts[d][di].inbox,
+						sender:    senderBase[d][pi] + ui,
+						port:      pi,
+						crossNode: u.nodeFor(ui) != d.nodeFor(di),
+					})
+				}
+				em.consumers = append(em.consumers, c)
+			}
+		}
+		return em
+	}
+
+	for _, n := range t.nodes {
+		if n.isSource {
+			ctxs := make([]*SourceContext, n.parallelism)
+			for i := 0; i < n.parallelism; i++ {
+				ctxs[i] = &SourceContext{emitter: emitterFor(n, i)}
+			}
+			j.sources[n] = ctxs
+			continue
+		}
+		for i, rt := range j.insts[n] {
+			rt.emitter = emitterFor(n, i)
+		}
+	}
+
+	// Start instance goroutines.
+	for _, n := range t.nodes {
+		if n.isSource {
+			continue
+		}
+		for _, rt := range j.insts[n] {
+			j.wg.Add(1)
+			go func(rt *instanceRT) {
+				defer j.wg.Done()
+				rt.run()
+			}(rt)
+		}
+	}
+	j.deployed = true
+	return j, nil
+}
+
+// SourceContext returns the push interface for one source instance.
+func (j *Job) SourceContext(n *Node, instance int) (*SourceContext, error) {
+	ctxs, ok := j.sources[n]
+	if !ok {
+		return nil, fmt.Errorf("spe: %q is not a source of this job", n.name)
+	}
+	if instance < 0 || instance >= len(ctxs) {
+		return nil, fmt.Errorf("spe: source %q has no instance %d", n.name, instance)
+	}
+	return ctxs[instance], nil
+}
+
+// CloseAllSources closes every source instance (idempotent), letting the job
+// drain to completion.
+func (j *Job) CloseAllSources() {
+	for _, ctxs := range j.sources {
+		for _, c := range ctxs {
+			c.Close()
+		}
+	}
+}
+
+// Wait blocks until all operator instances have finished (every source
+// closed and every element drained).
+func (j *Job) Wait() {
+	j.wg.Wait()
+}
+
+// Stop closes all sources and waits for the drain.
+func (j *Job) Stop() {
+	j.CloseAllSources()
+	j.Wait()
+}
+
+// SourceContext pushes elements into the running job on behalf of one source
+// instance. A SourceContext must be used by a single goroutine.
+type SourceContext struct {
+	emitter *Emitter
+	closed  bool
+}
+
+// EmitTuple pushes a data tuple.
+func (s *SourceContext) EmitTuple(t event.Tuple) {
+	s.emitter.EmitTuple(t)
+}
+
+// EmitWatermark asserts no later tuple from this source will have an
+// event-time ≤ wm.
+func (s *SourceContext) EmitWatermark(wm event.Time) {
+	s.emitter.broadcast(event.NewWatermark(wm))
+}
+
+// EmitChangelog weaves a changelog marker into the stream at event-time at.
+// The payload must implement ChangelogPayload. With a parallel source, every
+// instance must emit every changelog (the runtime deduplicates downstream).
+func (s *SourceContext) EmitChangelog(payload ChangelogPayload, at event.Time) {
+	s.emitter.broadcast(event.NewChangelog(payload, at))
+}
+
+// EmitBarrier injects a checkpoint barrier.
+func (s *SourceContext) EmitBarrier(id uint64) {
+	s.emitter.broadcast(event.NewBarrier(id))
+}
+
+// Close signals end of stream. Further emissions are a programming error.
+func (s *SourceContext) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	s.emitter.broadcast(event.EOS())
+}

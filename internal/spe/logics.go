@@ -1,0 +1,55 @@
+package spe
+
+import (
+	"astream/internal/event"
+)
+
+// MapLogic applies fn to every tuple. fn returning false drops the tuple
+// (filter); fn may mutate the tuple in place (map).
+type MapLogic struct {
+	BaseLogic
+	Fn func(*event.Tuple) bool
+}
+
+// NewMapLogic adapts a function into an operator logic factory.
+func NewMapLogic(fn func(*event.Tuple) bool) func(int) Logic {
+	return func(int) Logic { return &MapLogic{Fn: fn} }
+}
+
+func (m *MapLogic) OnTuple(_ int, t event.Tuple, out *Emitter) {
+	if m.Fn(&t) {
+		out.EmitTuple(t)
+	}
+}
+
+// SinkLogic delivers tuples and watermarks to callbacks. Callbacks run on
+// the instance goroutine; they must be fast or thread-safe as appropriate.
+type SinkLogic struct {
+	BaseLogic
+	Tuple func(event.Tuple)
+	WM    func(event.Time)
+	EOS   func()
+}
+
+// NewSinkLogic adapts callbacks into a sink logic factory.
+func NewSinkLogic(onTuple func(event.Tuple)) func(int) Logic {
+	return func(int) Logic { return &SinkLogic{Tuple: onTuple} }
+}
+
+func (s *SinkLogic) OnTuple(_ int, t event.Tuple, _ *Emitter) {
+	if s.Tuple != nil {
+		s.Tuple(t)
+	}
+}
+
+func (s *SinkLogic) OnWatermark(wm event.Time, _ *Emitter) {
+	if s.WM != nil {
+		s.WM(wm)
+	}
+}
+
+func (s *SinkLogic) OnEOS(_ *Emitter) {
+	if s.EOS != nil {
+		s.EOS()
+	}
+}

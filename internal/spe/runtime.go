@@ -1,0 +1,275 @@
+package spe
+
+import (
+	"fmt"
+
+	"astream/internal/event"
+)
+
+// ChangelogPayload must be implemented by changelog markers flowing through
+// the engine; the runtime uses the sequence number to deliver each changelog
+// exactly once per instance even though every upstream sender forwards it.
+type ChangelogPayload interface {
+	ChangelogSeq() uint64
+}
+
+// SnapshotSink receives operator state snapshots cut by checkpoint barriers.
+type SnapshotSink interface {
+	OnSnapshot(op string, instance int, barrier uint64, state []byte)
+}
+
+// target is one downstream inbox reachable from an emitter.
+type target struct {
+	ch        chan message
+	sender    int
+	port      int // which input port of the receiver this edge feeds
+	crossNode bool
+}
+
+// consumer groups the targets for one downstream operator.
+type consumer struct {
+	mode    PartitionMode
+	targets []target
+}
+
+// Emitter sends elements to all downstream consumers of an operator
+// instance. Tuples are partitioned per consumer mode; control elements are
+// broadcast. An Emitter is owned by its instance goroutine.
+type Emitter struct {
+	consumers []consumer
+	codec     EdgeCodec
+}
+
+// EmitTuple routes a tuple downstream.
+func (e *Emitter) EmitTuple(t event.Tuple) {
+	el := event.NewTuple(t)
+	for ci := range e.consumers {
+		c := &e.consumers[ci]
+		switch c.mode {
+		case Keyed:
+			tg := &c.targets[hashKey(t.Key, len(c.targets))]
+			e.send(tg, el)
+		case Global:
+			e.send(&c.targets[0], el)
+		case Broadcast:
+			for ti := range c.targets {
+				e.send(&c.targets[ti], el)
+			}
+		}
+	}
+}
+
+// broadcast delivers a control element to every target of every consumer.
+func (e *Emitter) broadcast(el event.Element) {
+	for ci := range e.consumers {
+		for ti := range e.consumers[ci].targets {
+			e.send(&e.consumers[ci].targets[ti], el)
+		}
+	}
+}
+
+func (e *Emitter) send(tg *target, el event.Element) {
+	if tg.crossNode && e.codec != nil {
+		// Pay the serialization cost a networked edge would: encode and
+		// decode the element (the decoded copy is what travels on).
+		payload := el.Changelog
+		dec, err := e.codec.Decode(e.codec.Encode(el))
+		if err != nil {
+			panic(fmt.Sprintf("spe: edge codec round-trip failed: %v", err))
+		}
+		// Changelog payloads are control-plane pointers; reattach after
+		// paying the envelope cost (the codec cannot reconstruct them).
+		if dec.Kind == event.KindChangelog {
+			dec.Changelog = payload
+		}
+		el = dec
+	}
+	tg.ch <- message{sender: tg.sender, port: tg.port, elem: el}
+}
+
+// hasConsumers reports whether anything is downstream (sinks have none).
+func (e *Emitter) hasConsumers() bool { return len(e.consumers) > 0 }
+
+// instanceRT is the runtime state of one operator instance.
+type instanceRT struct {
+	op       *Node
+	instance int
+	logic    Logic
+	inbox    chan message
+	senders  int
+	emitter  *Emitter
+	snapSink SnapshotSink
+
+	wms        []event.Time // per-sender watermark
+	done       []bool       // per-sender EOS
+	doneCount  int
+	combinedWM event.Time
+	clSeq      uint64 // last delivered changelog
+
+	// Barrier alignment.
+	aligning  bool
+	barrierID uint64
+	blocked   []bool
+	buffered  []message
+}
+
+func newInstanceRT(op *Node, instance int, logic Logic, senders int, inboxCap int) *instanceRT {
+	rt := &instanceRT{
+		op:         op,
+		instance:   instance,
+		logic:      logic,
+		inbox:      make(chan message, inboxCap),
+		senders:    senders,
+		wms:        make([]event.Time, senders),
+		done:       make([]bool, senders),
+		blocked:    make([]bool, senders),
+		combinedWM: event.MinTime,
+	}
+	for i := range rt.wms {
+		rt.wms[i] = event.MinTime
+	}
+	return rt
+}
+
+// run is the instance main loop: consume until every sender has sent EOS.
+func (rt *instanceRT) run() {
+	for rt.doneCount < rt.senders {
+		msg := <-rt.inbox
+		rt.handle(msg)
+	}
+	rt.logic.OnEOS(rt.emitter)
+	rt.emitter.broadcast(event.EOS())
+}
+
+func (rt *instanceRT) handle(msg message) {
+	if rt.aligning && rt.blocked[msg.sender] {
+		rt.buffered = append(rt.buffered, msg)
+		return
+	}
+	switch msg.elem.Kind {
+	case event.KindTuple:
+		rt.logic.OnTuple(msg.port, msg.elem.Tuple, rt.emitter)
+	case event.KindWatermark:
+		rt.onWatermark(msg.sender, msg.elem.Watermark)
+	case event.KindChangelog:
+		rt.onChangelog(msg.elem)
+	case event.KindBarrier:
+		rt.onBarrier(msg.sender, msg.elem.Barrier)
+	case event.KindEOS:
+		rt.onEOS(msg.sender)
+	}
+}
+
+func (rt *instanceRT) onWatermark(sender int, wm event.Time) {
+	if wm <= rt.wms[sender] {
+		return
+	}
+	rt.wms[sender] = wm
+	rt.advanceWatermark()
+}
+
+// advanceWatermark recomputes the combined watermark (min over live senders)
+// and delivers it when it moved.
+func (rt *instanceRT) advanceWatermark() {
+	min := event.MaxTime
+	live := false
+	for i := range rt.wms {
+		if rt.done[i] {
+			continue
+		}
+		live = true
+		if rt.wms[i] < min {
+			min = rt.wms[i]
+		}
+	}
+	if !live || min <= rt.combinedWM || min == event.MinTime {
+		return
+	}
+	rt.combinedWM = min
+	rt.logic.OnWatermark(min, rt.emitter)
+	rt.emitter.broadcast(event.NewWatermark(min))
+}
+
+func (rt *instanceRT) onChangelog(el event.Element) {
+	payload, ok := el.Changelog.(ChangelogPayload)
+	if !ok {
+		panic(fmt.Sprintf("spe: changelog payload %T does not implement ChangelogPayload", el.Changelog))
+	}
+	seq := payload.ChangelogSeq()
+	if seq <= rt.clSeq {
+		return // duplicate from another sender
+	}
+	if seq != rt.clSeq+1 {
+		panic(fmt.Sprintf("spe: %s[%d] changelog gap: have %d, got %d", rt.op.name, rt.instance, rt.clSeq, seq))
+	}
+	rt.clSeq = seq
+	rt.logic.OnChangelog(el.Changelog, el.Watermark, rt.emitter)
+	rt.emitter.broadcast(el)
+}
+
+func (rt *instanceRT) onBarrier(sender int, id uint64) {
+	if !rt.aligning {
+		rt.aligning = true
+		rt.barrierID = id
+		for i := range rt.blocked {
+			rt.blocked[i] = false
+		}
+	}
+	if id != rt.barrierID {
+		panic(fmt.Sprintf("spe: %s[%d] overlapping barriers %d and %d", rt.op.name, rt.instance, rt.barrierID, id))
+	}
+	rt.blocked[sender] = true
+	// Aligned when every live sender delivered the barrier.
+	for i := range rt.blocked {
+		if !rt.blocked[i] && !rt.done[i] {
+			return
+		}
+	}
+	// Alignment complete: snapshot, forward, replay buffered input.
+	state := rt.logic.OnBarrier(id, rt.emitter)
+	if rt.snapSink != nil {
+		rt.snapSink.OnSnapshot(rt.op.name, rt.instance, id, state)
+	}
+	rt.emitter.broadcast(event.NewBarrier(id))
+	rt.aligning = false
+	buf := rt.buffered
+	rt.buffered = nil
+	for _, m := range buf {
+		rt.handle(m)
+	}
+}
+
+func (rt *instanceRT) onEOS(sender int) {
+	if rt.done[sender] {
+		return
+	}
+	rt.done[sender] = true
+	rt.doneCount++
+	// A finished sender no longer constrains the watermark; and if it was
+	// the last holdout of a barrier alignment, complete the alignment.
+	if rt.aligning && !rt.blocked[sender] {
+		rt.onBarrierSenderGone()
+	}
+	rt.advanceWatermark()
+}
+
+// onBarrierSenderGone re-checks barrier alignment after a sender EOS'd
+// without delivering the pending barrier.
+func (rt *instanceRT) onBarrierSenderGone() {
+	for i := range rt.blocked {
+		if !rt.blocked[i] && !rt.done[i] {
+			return
+		}
+	}
+	state := rt.logic.OnBarrier(rt.barrierID, rt.emitter)
+	if rt.snapSink != nil {
+		rt.snapSink.OnSnapshot(rt.op.name, rt.instance, rt.barrierID, state)
+	}
+	rt.emitter.broadcast(event.NewBarrier(rt.barrierID))
+	rt.aligning = false
+	buf := rt.buffered
+	rt.buffered = nil
+	for _, m := range buf {
+		rt.handle(m)
+	}
+}

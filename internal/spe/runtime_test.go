@@ -1,0 +1,135 @@
+package spe
+
+import (
+	"testing"
+
+	"astream/internal/event"
+)
+
+// newBareRT builds an instance runtime with a sink-less emitter for direct
+// handle() testing.
+func newBareRT(senders int, logic Logic) *instanceRT {
+	op := &Node{name: "test", parallelism: 1}
+	rt := newInstanceRT(op, 0, logic, senders, 16)
+	rt.emitter = &Emitter{}
+	return rt
+}
+
+type recording struct {
+	BaseLogic
+	wms      []event.Time
+	cls      []uint64
+	barriers []uint64
+	eos      int
+	tuples   int
+}
+
+func (r *recording) OnTuple(int, event.Tuple, *Emitter)   { r.tuples++ }
+func (r *recording) OnWatermark(w event.Time, _ *Emitter) { r.wms = append(r.wms, w) }
+func (r *recording) OnChangelog(p any, _ event.Time, _ *Emitter) {
+	r.cls = append(r.cls, p.(*testChangelog).seq)
+}
+func (r *recording) OnBarrier(id uint64, _ *Emitter) []byte {
+	r.barriers = append(r.barriers, id)
+	return nil
+}
+func (r *recording) OnEOS(*Emitter) { r.eos++ }
+
+func TestRuntimeWatermarkRegressionIgnored(t *testing.T) {
+	rec := &recording{}
+	rt := newBareRT(1, rec)
+	rt.handle(message{sender: 0, elem: event.NewWatermark(10)})
+	rt.handle(message{sender: 0, elem: event.NewWatermark(5)})  // regression
+	rt.handle(message{sender: 0, elem: event.NewWatermark(10)}) // duplicate
+	rt.handle(message{sender: 0, elem: event.NewWatermark(12)})
+	if len(rec.wms) != 2 || rec.wms[0] != 10 || rec.wms[1] != 12 {
+		t.Fatalf("wms = %v, want [10 12]", rec.wms)
+	}
+}
+
+func TestRuntimeChangelogGapPanics(t *testing.T) {
+	rec := &recording{}
+	rt := newBareRT(1, rec)
+	rt.handle(message{sender: 0, elem: event.NewChangelog(&testChangelog{1}, 1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("changelog seq gap must panic")
+		}
+	}()
+	rt.handle(message{sender: 0, elem: event.NewChangelog(&testChangelog{3}, 3)})
+}
+
+func TestRuntimeBadChangelogPayloadPanics(t *testing.T) {
+	rec := &recording{}
+	rt := newBareRT(1, rec)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-ChangelogPayload must panic")
+		}
+	}()
+	rt.handle(message{sender: 0, elem: event.NewChangelog("not a payload", 1)})
+}
+
+func TestRuntimeOverlappingBarriersPanic(t *testing.T) {
+	rec := &recording{}
+	rt := newBareRT(2, rec)
+	rt.handle(message{sender: 0, elem: event.NewBarrier(1)})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overlapping barriers must panic")
+		}
+	}()
+	rt.handle(message{sender: 1, elem: event.NewBarrier(2)})
+}
+
+func TestRuntimeBarrierBuffersBlockedSender(t *testing.T) {
+	rec := &recording{}
+	rt := newBareRT(2, rec)
+	rt.handle(message{sender: 0, elem: event.NewBarrier(1)})
+	// Tuples from the barriered sender buffer; the other flows.
+	rt.handle(message{sender: 0, elem: event.NewTuple(event.Tuple{})})
+	rt.handle(message{sender: 1, elem: event.NewTuple(event.Tuple{})})
+	if rec.tuples != 1 {
+		t.Fatalf("tuples processed during alignment = %d, want 1", rec.tuples)
+	}
+	rt.handle(message{sender: 1, elem: event.NewBarrier(1)})
+	if len(rec.barriers) != 1 || rec.barriers[0] != 1 {
+		t.Fatalf("barriers = %v", rec.barriers)
+	}
+	if rec.tuples != 2 {
+		t.Fatalf("buffered tuple not replayed: %d", rec.tuples)
+	}
+}
+
+func TestRuntimeDuplicateEOSIgnored(t *testing.T) {
+	rec := &recording{}
+	rt := newBareRT(2, rec)
+	rt.handle(message{sender: 0, elem: event.EOS()})
+	rt.handle(message{sender: 0, elem: event.EOS()})
+	if rt.doneCount != 1 {
+		t.Fatalf("doneCount = %d, want 1", rt.doneCount)
+	}
+}
+
+func TestPartitionModeStrings(t *testing.T) {
+	if Keyed.String() != "keyed" || Broadcast.String() != "broadcast" || Global.String() != "global" {
+		t.Fatal("PartitionMode strings")
+	}
+}
+
+func TestHashKeySpread(t *testing.T) {
+	if hashKey(42, 1) != 0 {
+		t.Fatal("single instance must map to 0")
+	}
+	seen := map[int]bool{}
+	for k := int64(0); k < 1000; k++ {
+		h := hashKey(k, 8)
+		if h < 0 || h >= 8 {
+			t.Fatalf("hashKey out of range: %d", h)
+		}
+		seen[h] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("hashKey used %d of 8 buckets", len(seen))
+	}
+}

@@ -1,0 +1,181 @@
+package spe
+
+import (
+	"fmt"
+	"strings"
+
+	"astream/internal/event"
+)
+
+// DefaultChannelCap is the bounded capacity of exchange channels; bounded
+// channels are what make backpressure (and therefore sustainable-throughput
+// measurement) real.
+const DefaultChannelCap = 256
+
+// Topology is a DAG of operators under construction. Build it, then Deploy.
+type Topology struct {
+	nodes      []*Node
+	channelCap int
+}
+
+// NewTopology creates an empty topology.
+func NewTopology() *Topology {
+	return &Topology{channelCap: DefaultChannelCap}
+}
+
+// SetChannelCap overrides the exchange channel capacity (must be ≥ 1).
+func (t *Topology) SetChannelCap(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.channelCap = n
+}
+
+// Node is one operator in the topology.
+type Node struct {
+	id          int
+	name        string
+	parallelism int
+	newLogic    func(instance int) Logic
+	inputs      []input
+	isSource    bool
+	// nodeOf maps instance -> cluster node (for the cluster simulation);
+	// nil when unassigned (all co-located).
+	nodeOf []int
+	// edgeWrap, when non-nil, wraps cross-node sends (serialization cost).
+	topo *Topology
+}
+
+type input struct {
+	from *Node
+	mode PartitionMode
+}
+
+// Name returns the operator's name.
+func (n *Node) Name() string { return n.name }
+
+// Parallelism returns the instance count.
+func (n *Node) Parallelism() int { return n.parallelism }
+
+// AddSource adds a source operator. Sources have no inputs; their logic's
+// OnTuple is never called — instead the job hands each source instance a
+// *SourceContext to push elements through (see Job.SourceContext).
+func (t *Topology) AddSource(name string, parallelism int) *Node {
+	n := &Node{
+		id:          len(t.nodes),
+		name:        name,
+		parallelism: parallelism,
+		isSource:    true,
+		topo:        t,
+	}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// AddOperator adds an operator consuming from the given inputs. newLogic is
+// invoked once per instance at deploy time.
+func (t *Topology) AddOperator(name string, parallelism int, newLogic func(instance int) Logic, inputs ...Input) *Node {
+	n := &Node{
+		id:          len(t.nodes),
+		name:        name,
+		parallelism: parallelism,
+		newLogic:    newLogic,
+		topo:        t,
+	}
+	for _, in := range inputs {
+		n.inputs = append(n.inputs, input{from: in.From, mode: in.Mode})
+	}
+	t.nodes = append(t.nodes, n)
+	return n
+}
+
+// Input names an upstream node and the partitioning of its output.
+type Input struct {
+	From *Node
+	Mode PartitionMode
+}
+
+// KeyedInput routes tuples by key hash.
+func KeyedInput(from *Node) Input { return Input{From: from, Mode: Keyed} }
+
+// BroadcastInput delivers all tuples to all instances.
+func BroadcastInput(from *Node) Input { return Input{From: from, Mode: Broadcast} }
+
+// GlobalInput delivers all tuples to instance 0.
+func GlobalInput(from *Node) Input { return Input{From: from, Mode: Global} }
+
+// AssignNodes places instances of an operator onto cluster nodes round-robin
+// over nodeCount nodes. Inter-node edges pay the codec cost at deploy time
+// when the job is created with a non-nil EdgeCodec.
+func (n *Node) AssignNodes(nodeCount int) {
+	if nodeCount < 1 {
+		nodeCount = 1
+	}
+	n.nodeOf = make([]int, n.parallelism)
+	for i := range n.nodeOf {
+		n.nodeOf[i] = i % nodeCount
+	}
+}
+
+func (n *Node) nodeFor(instance int) int {
+	if n.nodeOf == nil {
+		return 0
+	}
+	return n.nodeOf[instance]
+}
+
+// Validate checks the DAG for structural problems.
+func (t *Topology) Validate() error {
+	for _, n := range t.nodes {
+		if n.parallelism < 1 {
+			return fmt.Errorf("spe: operator %q has parallelism %d", n.name, n.parallelism)
+		}
+		if n.isSource && len(n.inputs) > 0 {
+			return fmt.Errorf("spe: source %q has inputs", n.name)
+		}
+		if !n.isSource && len(n.inputs) == 0 {
+			return fmt.Errorf("spe: operator %q has no inputs", n.name)
+		}
+		if !n.isSource && n.newLogic == nil {
+			return fmt.Errorf("spe: operator %q has no logic", n.name)
+		}
+		for _, in := range n.inputs {
+			if in.from.topo != t {
+				return fmt.Errorf("spe: operator %q consumes from a different topology", n.name)
+			}
+			if in.from.id >= n.id {
+				return fmt.Errorf("spe: operator %q input %q does not precede it (cycle?)", n.name, in.from.name)
+			}
+		}
+	}
+	return nil
+}
+
+// EdgeCodec, when installed on a Job, is applied to every element crossing
+// cluster-node boundaries: Encode then Decode, simulating the serialization
+// a networked deployment pays. It must round-trip elements exactly.
+type EdgeCodec interface {
+	Encode(e event.Element) []byte
+	Decode(b []byte) (event.Element, error)
+}
+
+// Dot renders the topology as a Graphviz digraph (operators as nodes,
+// exchanges as labelled edges) — handy for documentation and debugging.
+func (t *Topology) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph topology {\n  rankdir=LR;\n")
+	for _, n := range t.nodes {
+		shape := "box"
+		if n.isSource {
+			shape = "ellipse"
+		}
+		fmt.Fprintf(&sb, "  %q [shape=%s,label=\"%s ×%d\"];\n", n.name, shape, n.name, n.parallelism)
+	}
+	for _, n := range t.nodes {
+		for _, in := range n.inputs {
+			fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", in.from.name, n.name, in.mode.String())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

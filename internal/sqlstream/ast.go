@@ -1,0 +1,232 @@
+package sqlstream
+
+import (
+	"fmt"
+	"strings"
+
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/window"
+)
+
+// AggFunc is the aggregation function of an aggregation query.
+type AggFunc uint8
+
+const (
+	// AggNone marks a SELECT * query (join or pure selection).
+	AggNone AggFunc = iota
+	AggSum
+	AggCount
+	AggAvg
+	AggMin
+	AggMax
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggNone:
+		return "*"
+	case AggSum:
+		return "SUM"
+	case AggCount:
+		return "COUNT"
+	case AggAvg:
+		return "AVG"
+	case AggMin:
+		return "MIN"
+	case AggMax:
+		return "MAX"
+	default:
+		return fmt.Sprintf("agg(%d)", uint8(a))
+	}
+}
+
+// ColRef names a column of a stream: stream alias plus field index
+// (expr.KeyField for KEY).
+type ColRef struct {
+	Stream string
+	Field  int
+}
+
+func (c ColRef) String() string {
+	if c.Field == expr.KeyField {
+		return c.Stream + ".KEY"
+	}
+	return fmt.Sprintf("%s.F%d", c.Stream, c.Field)
+}
+
+// JoinCond is an equality between columns of two different streams
+// (A.KEY = B.KEY in the paper's template; arbitrary column equality is
+// accepted, the engine supports key-equality).
+type JoinCond struct {
+	Left, Right ColRef
+}
+
+func (j JoinCond) String() string { return j.Left.String() + " = " + j.Right.String() }
+
+// Query is the parsed form of one stream query.
+type Query struct {
+	// Agg and AggCol describe the SELECT list: AggNone for SELECT *.
+	Agg    AggFunc
+	AggCol ColRef
+	// Sources lists the stream names in FROM order. One source: selection
+	// or aggregation; ≥2: windowed join (n-ary joins chain pairwise).
+	Sources []string
+	// Window is the window clause; zero-valued Spec with Length==0 means
+	// no window (pure selection).
+	Window window.Spec
+	// HasWindow reports whether a window clause was present.
+	HasWindow bool
+	// JoinConds are cross-stream equality conditions.
+	JoinConds []JoinCond
+	// Filters holds the per-stream selection predicate (conjunction of
+	// single-stream comparisons).
+	Filters map[string]expr.Predicate
+	// GroupBy is the grouping column for aggregations; nil otherwise.
+	GroupBy *ColRef
+}
+
+// IsJoin reports whether the query joins two or more streams.
+func (q *Query) IsJoin() bool { return len(q.Sources) >= 2 }
+
+// IsAggregation reports whether the query aggregates.
+func (q *Query) IsAggregation() bool { return q.Agg != AggNone }
+
+// FilterFor returns the predicate for a stream (TRUE when absent).
+func (q *Query) FilterFor(stream string) expr.Predicate {
+	if p, ok := q.Filters[stream]; ok {
+		return p
+	}
+	return expr.True()
+}
+
+// Validate performs semantic checks beyond grammar.
+func (q *Query) Validate() error {
+	if len(q.Sources) == 0 {
+		return fmt.Errorf("sqlstream: query has no sources")
+	}
+	seen := map[string]bool{}
+	for _, s := range q.Sources {
+		if seen[s] {
+			return fmt.Errorf("sqlstream: duplicate source %q", s)
+		}
+		seen[s] = true
+	}
+	if q.IsJoin() && !q.HasWindow {
+		return fmt.Errorf("sqlstream: stream join requires a window clause")
+	}
+	if q.IsAggregation() && !q.HasWindow {
+		return fmt.Errorf("sqlstream: stream aggregation requires a window clause")
+	}
+	if q.HasWindow {
+		if err := q.Window.Validate(); err != nil {
+			return err
+		}
+	}
+	if q.IsAggregation() && q.GroupBy == nil {
+		return fmt.Errorf("sqlstream: aggregation requires GROUPBY")
+	}
+	if !q.IsAggregation() && q.GroupBy != nil {
+		return fmt.Errorf("sqlstream: GROUPBY without aggregation")
+	}
+	if q.Agg == AggCount && q.AggCol.Stream == "" {
+		// COUNT(*) — allowed; no column check.
+	} else if q.IsAggregation() {
+		if !seen[q.AggCol.Stream] {
+			return fmt.Errorf("sqlstream: aggregate column references unknown stream %q", q.AggCol.Stream)
+		}
+		if q.AggCol.Field == expr.KeyField {
+			return fmt.Errorf("sqlstream: aggregating the key column is not supported")
+		}
+	}
+	for _, jc := range q.JoinConds {
+		if !seen[jc.Left.Stream] || !seen[jc.Right.Stream] {
+			return fmt.Errorf("sqlstream: join condition %v references unknown stream", jc)
+		}
+		if jc.Left.Stream == jc.Right.Stream {
+			return fmt.Errorf("sqlstream: join condition %v must relate two streams", jc)
+		}
+	}
+	if q.IsJoin() && len(q.JoinConds) == 0 {
+		return fmt.Errorf("sqlstream: join query needs at least one cross-stream equality")
+	}
+	for s, p := range q.Filters {
+		if !seen[s] {
+			return fmt.Errorf("sqlstream: predicate references unknown stream %q", s)
+		}
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	if q.GroupBy != nil && !seen[q.GroupBy.Stream] {
+		return fmt.Errorf("sqlstream: GROUPBY references unknown stream %q", q.GroupBy.Stream)
+	}
+	return nil
+}
+
+// String renders the query back to SQL (canonical form, stable for tests).
+func (q *Query) String() string {
+	var sb strings.Builder
+	sb.WriteString("SELECT ")
+	if q.Agg == AggNone {
+		sb.WriteString("*")
+	} else if q.Agg == AggCount && q.AggCol.Stream == "" {
+		sb.WriteString("COUNT(*)")
+	} else {
+		fmt.Fprintf(&sb, "%s(%s)", q.Agg, q.AggCol)
+	}
+	sb.WriteString(" FROM ")
+	sb.WriteString(strings.Join(q.Sources, ", "))
+	if q.HasWindow {
+		switch q.Window.Kind {
+		case window.Session:
+			fmt.Fprintf(&sb, " [SESSION %d]", int64(q.Window.Gap))
+		default:
+			fmt.Fprintf(&sb, " [RANGE %d] [SLIDE %d]", int64(q.Window.Length), int64(q.Window.Slide))
+		}
+	}
+	var conds []string
+	for _, jc := range q.JoinConds {
+		conds = append(conds, jc.String())
+	}
+	for _, s := range q.Sources {
+		if p, ok := q.Filters[s]; ok {
+			for _, c := range p.Conj {
+				col := ColRef{Stream: s, Field: c.Field}
+				conds = append(conds, fmt.Sprintf("%s %s %d", col, c.Op, c.Value))
+			}
+		}
+	}
+	if len(conds) > 0 {
+		sb.WriteString(" WHERE ")
+		sb.WriteString(strings.Join(conds, " AND "))
+	}
+	if q.GroupBy != nil {
+		fmt.Fprintf(&sb, " GROUPBY %s", q.GroupBy)
+	}
+	return sb.String()
+}
+
+// fieldByName resolves KEY / Fn / FIELDn column names. The paper's template
+// writes FIELD1..FIELD5 (1-based); F0..F4 are the 0-based aliases.
+func fieldByName(name string) (int, error) {
+	u := strings.ToUpper(name)
+	if u == "KEY" {
+		return expr.KeyField, nil
+	}
+	if strings.HasPrefix(u, "FIELD") {
+		n := 0
+		if _, err := fmt.Sscanf(u, "FIELD%d", &n); err == nil && n >= 1 && n <= event.NumFields {
+			return n - 1, nil
+		}
+		return 0, fmt.Errorf("sqlstream: bad field %q (want FIELD1..FIELD%d)", name, event.NumFields)
+	}
+	if strings.HasPrefix(u, "F") {
+		n := -1
+		if _, err := fmt.Sscanf(u, "F%d", &n); err == nil && n >= 0 && n < event.NumFields {
+			return n, nil
+		}
+		return 0, fmt.Errorf("sqlstream: bad field %q (want F0..F%d)", name, event.NumFields-1)
+	}
+	return 0, fmt.Errorf("sqlstream: unknown column %q", name)
+}

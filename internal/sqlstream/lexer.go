@@ -1,0 +1,149 @@
+// Package sqlstream parses the stream-SQL dialect of the paper's workload
+// templates (Figures 7 and 8):
+//
+//	SELECT *
+//	FROM A, B [RANGE 20] [SLIDE 5]
+//	WHERE A.KEY = B.KEY AND A.F3 > 10 AND B.F1 <= 4
+//
+//	SELECT SUM(A.FIELD1)
+//	FROM A [RANGE 10] [SLIDE 10]
+//	WHERE A.F2 >= 7
+//	GROUPBY A.KEY
+//
+// Extensions over the paper's figures: SESSION(gap) windows, COUNT(*) and
+// AVG aggregates, and n-ary joins (FROM A, B, C, …) as used in the complex
+// query experiment (§4.7). "SLICE" is accepted as a synonym for "SLIDE"
+// (the paper's templates write SLICE for the slide parameter).
+package sqlstream
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front; stream queries are short.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9':
+			l.lexNumber()
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9':
+			l.lexNumber()
+		default:
+			if err := l.lexSymbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		// -- line comments
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-' {
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+			continue
+		}
+		return
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+var twoCharSymbols = []string{"<=", ">=", "==", "!=", "<>"}
+
+func (l *lexer) lexSymbol() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		for _, s := range twoCharSymbols {
+			if two == s {
+				l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: l.pos})
+				l.pos += 2
+				return nil
+			}
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case ',', '.', '(', ')', '[', ']', '*', '=', '<', '>', ';':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sqlstream: unexpected character %q at offset %d", c, l.pos)
+}
+
+// keyword matching is case-insensitive.
+func isKeyword(t token, kw string) bool {
+	return t.kind == tokIdent && strings.EqualFold(t.text, kw)
+}

@@ -1,0 +1,296 @@
+package sqlstream
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/window"
+)
+
+// Parse parses one query and validates it.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sqlstream: %s (near %s)", fmt.Sprintf(format, args...), p.cur())
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if isKeyword(p.cur(), kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(s string) bool {
+	if p.cur().kind == tokSymbol && p.cur().text == s {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(s string) error {
+	if !p.acceptSymbol(s) {
+		return p.errf("expected %q", s)
+	}
+	return nil
+}
+
+func (p *parser) parseNumber() (int64, error) {
+	if p.cur().kind != tokNumber {
+		return 0, p.errf("expected number")
+	}
+	n, err := strconv.ParseInt(p.next().text, 10, 64)
+	if err != nil {
+		return 0, p.errf("bad number: %v", err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseIdent() (string, error) {
+	if p.cur().kind != tokIdent {
+		return "", p.errf("expected identifier")
+	}
+	return p.next().text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{Filters: map[string]expr.Predicate{}}
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if err := p.parseSelectList(q); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		s, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		q.Sources = append(q.Sources, s)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.parseWindowClause(q); err != nil {
+		return nil, err
+	}
+	if p.acceptKeyword("WHERE") {
+		if err := p.parseWhere(q); err != nil {
+			return nil, err
+		}
+	}
+	if p.acceptKeyword("GROUPBY") || (p.acceptKeyword("GROUP") && p.acceptKeyword("BY")) {
+		c, err := p.parseColRef()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = &c
+	}
+	p.acceptSymbol(";")
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("trailing input")
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelectList(q *Query) error {
+	if p.acceptSymbol("*") {
+		q.Agg = AggNone
+		return nil
+	}
+	var fn AggFunc
+	switch {
+	case p.acceptKeyword("SUM"):
+		fn = AggSum
+	case p.acceptKeyword("COUNT"):
+		fn = AggCount
+	case p.acceptKeyword("AVG"):
+		fn = AggAvg
+	case p.acceptKeyword("MIN"):
+		fn = AggMin
+	case p.acceptKeyword("MAX"):
+		fn = AggMax
+	default:
+		return p.errf("expected * or aggregate function")
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return err
+	}
+	if fn == AggCount && p.acceptSymbol("*") {
+		q.Agg = AggCount
+		return p.expectSymbol(")")
+	}
+	c, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	q.Agg = fn
+	q.AggCol = c
+	return p.expectSymbol(")")
+}
+
+// parseWindowClause handles, in any mix:
+//
+//	[RANGE n] [SLIDE n]      — sliding window (tumbling when slide omitted)
+//	[RANGE n] [SLICE n]      — paper's spelling for the slide parameter
+//	[SESSION n]              — session window with gap n
+func (p *parser) parseWindowClause(q *Query) error {
+	var haveRange, haveSlide, haveSession bool
+	var rng, slide, gap int64
+	for p.cur().kind == tokSymbol && p.cur().text == "[" {
+		p.i++
+		switch {
+		case p.acceptKeyword("RANGE"):
+			n, err := p.parseNumber()
+			if err != nil {
+				return err
+			}
+			haveRange, rng = true, n
+		case p.acceptKeyword("SLIDE"), p.acceptKeyword("SLICE"):
+			n, err := p.parseNumber()
+			if err != nil {
+				return err
+			}
+			haveSlide, slide = true, n
+		case p.acceptKeyword("SESSION"):
+			n, err := p.parseNumber()
+			if err != nil {
+				return err
+			}
+			haveSession, gap = true, n
+		default:
+			return p.errf("expected RANGE, SLIDE, SLICE or SESSION")
+		}
+		if err := p.expectSymbol("]"); err != nil {
+			return err
+		}
+	}
+	switch {
+	case haveSession && (haveRange || haveSlide):
+		return fmt.Errorf("sqlstream: SESSION cannot be combined with RANGE/SLIDE")
+	case haveSession:
+		q.HasWindow = true
+		q.Window = window.SessionSpec(event.Time(gap))
+	case haveRange && haveSlide:
+		q.HasWindow = true
+		if slide == rng {
+			q.Window = window.TumblingSpec(event.Time(rng))
+		} else {
+			q.Window = window.SlidingSpec(event.Time(rng), event.Time(slide))
+		}
+	case haveRange:
+		q.HasWindow = true
+		q.Window = window.TumblingSpec(event.Time(rng))
+	case haveSlide:
+		return fmt.Errorf("sqlstream: SLIDE without RANGE")
+	}
+	return nil
+}
+
+func (p *parser) parseColRef() (ColRef, error) {
+	stream, err := p.parseIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	if err := p.expectSymbol("."); err != nil {
+		return ColRef{}, err
+	}
+	col, err := p.parseIdent()
+	if err != nil {
+		return ColRef{}, err
+	}
+	f, err := fieldByName(col)
+	if err != nil {
+		return ColRef{}, err
+	}
+	return ColRef{Stream: stream, Field: f}, nil
+}
+
+func (p *parser) parseWhere(q *Query) error {
+	for {
+		if err := p.parseCondition(q); err != nil {
+			return err
+		}
+		if !p.acceptKeyword("AND") {
+			break
+		}
+	}
+	return nil
+}
+
+// parseCondition parses either a cross-stream equality (join condition) or a
+// single-stream comparison against a constant.
+func (p *parser) parseCondition(q *Query) error {
+	left, err := p.parseColRef()
+	if err != nil {
+		return err
+	}
+	if p.cur().kind != tokSymbol {
+		return p.errf("expected comparison operator")
+	}
+	opText := p.next().text
+	op, err := expr.ParseOp(opText)
+	if err != nil {
+		return p.errf("%v", err)
+	}
+	switch p.cur().kind {
+	case tokNumber:
+		v, err := p.parseNumber()
+		if err != nil {
+			return err
+		}
+		pred := q.Filters[left.Stream]
+		q.Filters[left.Stream] = pred.And(expr.Comparison{Field: left.Field, Op: op, Value: v})
+		return nil
+	case tokIdent:
+		right, err := p.parseColRef()
+		if err != nil {
+			return err
+		}
+		if op != expr.EQ {
+			return fmt.Errorf("sqlstream: join condition must use equality, got %s", strings.ToUpper(opText))
+		}
+		q.JoinConds = append(q.JoinConds, JoinCond{Left: left, Right: right})
+		return nil
+	default:
+		return p.errf("expected number or column after operator")
+	}
+}

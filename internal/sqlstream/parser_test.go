@@ -1,0 +1,214 @@
+package sqlstream
+
+import (
+	"strings"
+	"testing"
+
+	"astream/internal/expr"
+	"astream/internal/window"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return q
+}
+
+// TestPaperJoinTemplate parses Figure 7's join template verbatim shape.
+func TestPaperJoinTemplate(t *testing.T) {
+	q := mustParse(t, `
+		SELECT *
+		FROM A, B [RANGE 20] [SLICE 5]
+		WHERE A.KEY = B.KEY AND
+		A.FIELD3 > 10 AND
+		B.FIELD1 <= 4`)
+	if !q.IsJoin() || q.IsAggregation() {
+		t.Fatal("should be a join, not aggregation")
+	}
+	if len(q.Sources) != 2 || q.Sources[0] != "A" || q.Sources[1] != "B" {
+		t.Fatalf("sources = %v", q.Sources)
+	}
+	if !q.HasWindow || q.Window.Kind != window.Sliding || q.Window.Length != 20 || q.Window.Slide != 5 {
+		t.Fatalf("window = %+v", q.Window)
+	}
+	if len(q.JoinConds) != 1 {
+		t.Fatalf("join conds = %v", q.JoinConds)
+	}
+	jc := q.JoinConds[0]
+	if jc.Left != (ColRef{"A", expr.KeyField}) || jc.Right != (ColRef{"B", expr.KeyField}) {
+		t.Fatalf("join cond = %v", jc)
+	}
+	pa := q.FilterFor("A")
+	if len(pa.Conj) != 1 || pa.Conj[0] != (expr.Comparison{Field: 2, Op: expr.GT, Value: 10}) {
+		t.Fatalf("A predicate = %v", pa)
+	}
+	pb := q.FilterFor("B")
+	if len(pb.Conj) != 1 || pb.Conj[0] != (expr.Comparison{Field: 0, Op: expr.LE, Value: 4}) {
+		t.Fatalf("B predicate = %v", pb)
+	}
+}
+
+// TestPaperAggTemplate parses Figure 8's aggregation template.
+func TestPaperAggTemplate(t *testing.T) {
+	q := mustParse(t, `
+		SELECT SUM(A.FIELD1)
+		FROM A [RANGE 10] [SLICE 10]
+		WHERE A.F4 >= 7
+		GROUPBY A.KEY`)
+	if q.IsJoin() || !q.IsAggregation() {
+		t.Fatal("should be an aggregation")
+	}
+	if q.Agg != AggSum || q.AggCol != (ColRef{"A", 0}) {
+		t.Fatalf("agg = %v(%v)", q.Agg, q.AggCol)
+	}
+	if q.Window.Kind != window.Tumbling || q.Window.Length != 10 {
+		t.Fatalf("window = %+v, want tumbling(10)", q.Window)
+	}
+	if q.GroupBy == nil || *q.GroupBy != (ColRef{"A", expr.KeyField}) {
+		t.Fatalf("group by = %v", q.GroupBy)
+	}
+}
+
+func TestTumblingWhenSlideOmitted(t *testing.T) {
+	q := mustParse(t, `SELECT SUM(A.F0) FROM A [RANGE 30] WHERE A.F1 > 2 GROUPBY A.KEY`)
+	if q.Window.Kind != window.Tumbling || q.Window.Length != 30 {
+		t.Fatalf("window = %+v", q.Window)
+	}
+}
+
+func TestSessionWindow(t *testing.T) {
+	q := mustParse(t, `SELECT COUNT(*) FROM A [SESSION 15] GROUPBY A.KEY`)
+	if q.Window.Kind != window.Session || q.Window.Gap != 15 {
+		t.Fatalf("window = %+v", q.Window)
+	}
+	if q.Agg != AggCount || q.AggCol.Stream != "" {
+		t.Fatalf("agg = %v %v", q.Agg, q.AggCol)
+	}
+}
+
+func TestNaryJoin(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM A, B, C [RANGE 10]
+		WHERE A.KEY = B.KEY AND B.KEY = C.KEY AND C.F2 < 9`)
+	if len(q.Sources) != 3 {
+		t.Fatalf("sources = %v", q.Sources)
+	}
+	if len(q.JoinConds) != 2 {
+		t.Fatalf("join conds = %v", q.JoinConds)
+	}
+}
+
+func TestFieldAliases(t *testing.T) {
+	q := mustParse(t, `SELECT SUM(A.FIELD5) FROM A [RANGE 5] GROUPBY A.KEY`)
+	if q.AggCol.Field != 4 {
+		t.Fatalf("FIELD5 should map to index 4, got %d", q.AggCol.Field)
+	}
+	q2 := mustParse(t, `SELECT SUM(A.F4) FROM A [RANGE 5] GROUPBY A.KEY`)
+	if q2.AggCol.Field != 4 {
+		t.Fatalf("F4 should map to index 4, got %d", q2.AggCol.Field)
+	}
+}
+
+func TestCaseInsensitiveKeywords(t *testing.T) {
+	q := mustParse(t, `select sum(a.field1) from a [range 10] where a.f0 > 1 groupby a.key`)
+	if q.Agg != AggSum {
+		t.Fatal("lowercase keywords should parse")
+	}
+}
+
+func TestGroupBySpaced(t *testing.T) {
+	q := mustParse(t, `SELECT SUM(A.F1) FROM A [RANGE 10] GROUP BY A.KEY`)
+	if q.GroupBy == nil {
+		t.Fatal("GROUP BY (two words) should parse")
+	}
+}
+
+func TestCommentsAndSemicolon(t *testing.T) {
+	q := mustParse(t, `
+		-- windowed aggregation
+		SELECT SUM(A.F1) FROM A [RANGE 10] GROUPBY A.KEY;`)
+	if q.Agg != AggSum {
+		t.Fatal("comment/semicolon handling broken")
+	}
+}
+
+func TestMultipleFilterConjuncts(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM A, B [RANGE 8] [SLIDE 2]
+		WHERE A.KEY = B.KEY AND A.F0 > 1 AND A.F1 < 9 AND B.F2 = 3`)
+	if len(q.FilterFor("A").Conj) != 2 || len(q.FilterFor("B").Conj) != 1 {
+		t.Fatalf("filters = %v", q.Filters)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"SELECT", "expected * or aggregate"},
+		{"FROM A", "expected SELECT"},
+		{"SELECT * FROM", "expected identifier"},
+		{"SELECT * FROM A, A [RANGE 5] WHERE A.KEY = A.KEY", "duplicate source"},
+		{"SELECT * FROM A, B WHERE A.KEY = B.KEY", "requires a window"},
+		{"SELECT SUM(A.F0) FROM A GROUPBY A.KEY", "requires a window"},
+		{"SELECT SUM(A.F0) FROM A [RANGE 5]", "requires GROUPBY"},
+		{"SELECT * FROM A [RANGE 5] GROUPBY A.KEY", "GROUPBY without aggregation"},
+		{"SELECT * FROM A, B [RANGE 5] WHERE A.F0 > 1", "at least one cross-stream equality"},
+		{"SELECT * FROM A, B [RANGE 5] WHERE A.KEY < B.KEY", "must use equality"},
+		{"SELECT * FROM A, B [RANGE 5] WHERE A.KEY = C.KEY", "unknown stream"},
+		{"SELECT SUM(A.F9) FROM A [RANGE 5] GROUPBY A.KEY", "bad field"},
+		{"SELECT SUM(A.KEY) FROM A [RANGE 5] GROUPBY A.KEY", "key column"},
+		{"SELECT SUM(A.WAT) FROM A [RANGE 5] GROUPBY A.KEY", "unknown column"},
+		{"SELECT * FROM A [SLIDE 5]", "SLIDE without RANGE"},
+		{"SELECT * FROM A [RANGE 5] [SESSION 3]", "cannot be combined"},
+		{"SELECT * FROM A [RANGE 0] WHERE A.F0 > 1", "must be positive"},
+		{"SELECT * FROM A, B [RANGE 5] [SLIDE 9] WHERE A.KEY = B.KEY", "in (0, length]"},
+		{"SELECT * FROM A [RANGE 5] extra", "trailing input"},
+		{"SELECT * FROM A WHERE A.F0 > ?", "unexpected character"},
+		{"SELECT * FROM A WHERE A.F0 >", "expected number or column"},
+		{"SELECT SUM(A.F0 FROM A [RANGE 5] GROUPBY A.KEY", `expected ")"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error %q does not contain %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		`SELECT * FROM A, B [RANGE 20] [SLIDE 5] WHERE A.KEY = B.KEY AND A.F2 > 10 AND B.F0 <= 4`,
+		`SELECT SUM(A.F0) FROM A [RANGE 10] [SLIDE 10] WHERE A.F3 >= 7 GROUPBY A.KEY`,
+		`SELECT COUNT(*) FROM A [SESSION 15] GROUPBY A.KEY`,
+		`SELECT AVG(A.F2) FROM A [RANGE 6] [SLIDE 3] GROUPBY A.KEY`,
+		`SELECT MIN(A.F1) FROM A [RANGE 6] GROUPBY A.KEY`,
+		`SELECT MAX(A.F1) FROM A [RANGE 6] GROUPBY A.KEY`,
+	}
+	for _, src := range srcs {
+		q1 := mustParse(t, src)
+		q2 := mustParse(t, q1.String())
+		if q1.String() != q2.String() {
+			t.Errorf("round trip unstable:\n  %s\n  %s", q1, q2)
+		}
+	}
+}
+
+func TestNegativeNumbers(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM A WHERE A.F0 > -5`)
+	if q.FilterFor("A").Conj[0].Value != -5 {
+		t.Fatalf("negative literal lost: %v", q.Filters)
+	}
+}
+
+func TestPureSelection(t *testing.T) {
+	q := mustParse(t, `SELECT * FROM A WHERE A.F0 > 3 AND A.F1 <= 7`)
+	if q.IsJoin() || q.IsAggregation() || q.HasWindow {
+		t.Fatal("pure selection misclassified")
+	}
+}
