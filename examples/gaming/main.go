@@ -17,6 +17,7 @@ package main
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync/atomic"
 
 	"astream"
@@ -105,8 +106,13 @@ func main() {
 
 	eng.Drain()
 	fmt.Println()
-	for name, n := range counts {
-		fmt.Printf("%-28s %6d join results\n", name, atomic.LoadUint64(n))
+	names := make([]string, 0, len(counts))
+	for name := range counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("%-28s %6d join results\n", name, atomic.LoadUint64(counts[name]))
 	}
 	m := eng.Metrics()
 	fmt.Printf("\nshared work: %d slice pairs joined, %d reused from cache\n",

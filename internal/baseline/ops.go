@@ -1,8 +1,6 @@
 package baseline
 
 import (
-	"sync/atomic"
-
 	"astream/internal/core"
 	"astream/internal/event"
 	"astream/internal/spe"
@@ -127,15 +125,17 @@ func (w *sinkWrapper) markInstances(n int) {
 }
 
 func (w *sinkWrapper) observeInstanceWM(inst int, t event.Time) {
-	atomic.StoreInt64(&w.instWM[inst], int64(t))
-	// Recompute the combined minimum.
+	// Everything under instMu: markInstances replaces the slice header, so
+	// mixing atomics on elements with plain slice reads is a data race.
+	w.instMu.Lock()
+	w.instWM[inst] = int64(t)
 	min := int64(event.MaxTime)
 	for i := range w.instWM {
-		v := atomic.LoadInt64(&w.instWM[i])
-		if v < min {
+		if v := w.instWM[i]; v < min {
 			min = v
 		}
 	}
+	w.instMu.Unlock()
 	w.observeWM(event.Time(min))
 }
 

@@ -127,6 +127,10 @@ type SharedAggregation struct {
 	table     *changelog.Table
 	active    map[int]*aggQuery // by query ID
 	selection map[int]*aggQuery // selection queries (terminal at port 0)
+	// selOrdered mirrors selection sorted by slot: the per-tuple delivery
+	// loop iterates it so result order is deterministic (and avoids map
+	// iteration in the hot path). Rebuilt on changelog and purge.
+	selOrdered []*aggQuery
 	// maskVersions holds the per-port/selection/session slot masks,
 	// versioned by event-time. Slot reuse makes a bare slot ambiguous (the
 	// same bit can mean "aggregation input" in one epoch and "join input
@@ -164,6 +168,27 @@ func NewSharedAggregation(ports int, lateness event.Time, router *Router, m *OpM
 		lastWM:       event.MinTime,
 		evictedThru:  event.MinTime,
 	}
+}
+
+// sortedQueryIDs returns the map's query IDs in ascending order, so
+// changelog- and watermark-path iteration is deterministic across runs
+// (replay determinism, §3.3).
+func sortedQueryIDs(m map[int]*aggQuery) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// rebuildSelOrdered refreshes the slot-ordered selection list.
+func (a *SharedAggregation) rebuildSelOrdered() {
+	a.selOrdered = a.selOrdered[:0]
+	for _, sq := range a.selection {
+		a.selOrdered = append(a.selOrdered, sq)
+	}
+	sort.Slice(a.selOrdered, func(i, j int) bool { return a.selOrdered[i].slot < a.selOrdered[j].slot })
 }
 
 // masksAt returns the mask table in effect at event-time t.
@@ -223,7 +248,8 @@ func (a *SharedAggregation) OnChangelog(payload any, at event.Time, _ *spe.Emitt
 	// tuples resolve). Epoch specs likewise come from running queries.
 	mv := maskVersion{from: at, portMasks: make([]bitset.Bits, a.ports)}
 	specs := make([]window.Spec, 0, len(a.active))
-	for _, aq := range a.active {
+	for _, id := range sortedQueryIDs(a.active) {
+		aq := a.active[id]
 		if aq.until == event.MaxTime {
 			mv.portMasks[aq.port].Set(aq.slot)
 			if aq.sessions != nil {
@@ -239,6 +265,7 @@ func (a *SharedAggregation) OnChangelog(payload any, at event.Time, _ *spe.Emitt
 			mv.selMask.Set(sq.slot)
 		}
 	}
+	a.rebuildSelOrdered()
 	a.maskVersions = append(a.maskVersions, mv)
 	if err := a.sl.addEpoch(at, msg.CL.Seq, specs); err != nil {
 		panic(fmt.Sprintf("core: agg epoch: %v", err))
@@ -254,7 +281,7 @@ func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 	mv := a.masksAt(t.Time)
 	// Selection queries: terminal, stateless, port 0 only.
 	if port == 0 && t.QuerySet.Intersects(mv.selMask) {
-		for _, sq := range a.selection {
+		for _, sq := range a.selOrdered {
 			if t.QuerySet.Test(sq.slot) && t.Time >= sq.since && t.Time < sq.until {
 				a.router.Deliver(Result{
 					QueryID:     sq.q.ID,
@@ -344,7 +371,8 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 	}
 	byExt := map[window.Extent]*trigger{}
 	var triggers []*trigger
-	for _, aq := range a.active {
+	for _, id := range sortedQueryIDs(a.active) {
+		aq := a.active[id]
 		sp := aq.spec()
 		if !sp.IsTimeBased() {
 			continue
@@ -366,17 +394,31 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 			tr.queries = append(tr.queries, aq)
 		}
 	}
+	// Fire in event-time order (matches the shared join's trigger order).
+	sort.Slice(triggers, func(i, j int) bool {
+		if triggers[i].ext.End != triggers[j].ext.End {
+			return triggers[i].ext.End < triggers[j].ext.End
+		}
+		return triggers[i].ext.Start < triggers[j].ext.Start
+	})
 	cur := a.table.Latest()
 	for _, tr := range triggers {
 		a.fireWindow(tr.ext, tr.queries, cur)
 	}
 
-	// Session harvest.
-	for _, aq := range a.active {
+	// Session harvest, in (query, key) order for deterministic emission.
+	for _, id := range sortedQueryIDs(a.active) {
+		aq := a.active[id]
 		if aq.sessions == nil {
 			continue
 		}
-		for key, ss := range aq.sessions {
+		sessKeys := make([]int64, 0, len(aq.sessions))
+		for key := range aq.sessions {
+			sessKeys = append(sessKeys, key)
+		}
+		sort.Slice(sessKeys, func(i, j int) bool { return sessKeys[i] < sessKeys[j] })
+		for _, key := range sessKeys {
+			ss := aq.sessions[key]
 			for _, cs := range ss.Harvest(wm) {
 				if cs.Extent.End > aq.until {
 					continue // session outlived the query
@@ -413,17 +455,22 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 			delete(a.active, id)
 		}
 	}
+	selPurged := false
 	for id, sq := range a.selection {
 		if sq.until <= wm {
 			delete(a.selection, id)
+			selPurged = true
 		}
+	}
+	if selPurged {
+		a.rebuildSelOrdered()
 	}
 
 	// Eviction and history compaction. Retention includes pending-deleted
 	// queries (purge already removed the expired ones).
 	specs := make([]window.Spec, 0, len(a.active))
-	for _, aq := range a.active {
-		if sp := aq.spec(); sp.IsTimeBased() {
+	for _, id := range sortedQueryIDs(a.active) {
+		if sp := a.active[id].spec(); sp.IsTimeBased() {
 			specs = append(specs, sp)
 		}
 	}
@@ -531,9 +578,23 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 		}
 	}
 	a.metrics.BitsetOps.observe(tick, a.metrics)
-	for slot, byKey := range accum {
+	// Emit in (slot, key) order: per-sink result streams must not depend
+	// on map iteration order.
+	slots := make([]int, 0, len(accum))
+	for slot := range accum {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		byKey := accum[slot]
 		aq := slotQ[slot]
-		for key, v := range byKey {
+		keys := make([]int64, 0, len(byKey))
+		for key := range byKey {
+			keys = append(keys, key)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		for _, key := range keys {
+			v := byKey[key]
 			atomic.AddUint64(&a.metrics.AggOut, 1)
 			a.router.Deliver(Result{
 				QueryID:     aq.q.ID,

@@ -79,6 +79,9 @@ func (c *Config) setDefaults() {
 		c.GroupedThreshold = 10
 	}
 	if c.NowNanos == nil {
+		// The one place the engine touches the wall clock: the default
+		// when no clock is injected.
+		//lint:ignore wallclock default clock injection point; everything downstream uses NowNanos
 		c.NowNanos = func() int64 { return time.Now().UnixNano() }
 	}
 }
@@ -141,7 +144,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	eng := &Engine{
 		cfg:      cfg,
 		registry: changelog.NewRegistry(cfg.SlotMode),
-		metrics:  &OpMetrics{},
+		metrics:  NewOpMetrics(cfg.NowNanos),
 		clTimes:  newChangelogTimes(cfg.Streams),
 		defs:     make(map[int]*Query),
 	}

@@ -142,12 +142,23 @@ func (j *SharedJoin) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
 	}
 }
 
+// sortedJoinIDs returns the active query IDs in ascending order, so spec
+// lists are built deterministically across runs.
+func (j *SharedJoin) sortedJoinIDs() []int {
+	ids := make([]int, 0, len(j.active))
+	for id := range j.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
 // activeSpecs returns the window specs that shape slicing going forward:
 // only queries that are still running contribute boundaries.
 func (j *SharedJoin) activeSpecs() []window.Spec {
 	specs := make([]window.Spec, 0, len(j.active))
-	for _, aq := range j.active {
-		if aq.until == event.MaxTime {
+	for _, id := range j.sortedJoinIDs() {
+		if aq := j.active[id]; aq.until == event.MaxTime {
 			specs = append(specs, aq.q.Window)
 		}
 	}
@@ -158,8 +169,8 @@ func (j *SharedJoin) activeSpecs() []window.Spec {
 // windows may still need old slices.
 func (j *SharedJoin) retentionSpecs() []window.Spec {
 	specs := make([]window.Spec, 0, len(j.active))
-	for _, aq := range j.active {
-		specs = append(specs, aq.q.Window)
+	for _, id := range j.sortedJoinIDs() {
+		specs = append(specs, j.active[id].q.Window)
 	}
 	return specs
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"sort"
 	"sync/atomic"
-	"time"
 
 	"astream/internal/bitset"
 	"astream/internal/changelog"
@@ -150,8 +149,9 @@ func (s *SharedSelection) ActiveEntries() int {
 }
 
 // OpMetrics aggregates shared-operator cost counters across instances; all
-// fields are atomics. Component timings (Fig. 18a) are sampled: every
-// sampleEvery-th operation is timed and scaled up.
+// exported fields are atomics. Component timings (Fig. 18a) are sampled:
+// every sampleEvery-th operation is timed and scaled up, using the engine's
+// injected clock so simulated-time tests stay deterministic.
 type OpMetrics struct {
 	Selected   uint64 // tuples that matched ≥1 query
 	Dropped    uint64 // tuples matching no query
@@ -165,20 +165,28 @@ type OpMetrics struct {
 	BitsetOps   componentTimer // masking/intersection during triggers
 	RouterCopy  componentTimer // per-query result copying in the router
 
-	ops uint64 // sampling clock
+	ops      uint64       // sampling clock
+	nowNanos func() int64 // injected clock; nil disables timing samples
+}
+
+// NewOpMetrics creates a metrics block sampling component timings with the
+// given clock (the engine passes its Config.NowNanos). A zero-value
+// OpMetrics still counts but never samples timings.
+func NewOpMetrics(nowNanos func() int64) *OpMetrics {
+	return &OpMetrics{nowNanos: nowNanos}
 }
 
 const sampleEvery = 64
 
-// start returns a wall-clock tick on sampled operations, else 0.
+// start returns a clock tick on sampled operations, else 0.
 func (m *OpMetrics) start() int64 {
-	if m == nil {
+	if m == nil || m.nowNanos == nil {
 		return 0
 	}
 	if atomic.AddUint64(&m.ops, 1)%sampleEvery != 0 {
 		return 0
 	}
-	return time.Now().UnixNano()
+	return m.nowNanos()
 }
 
 type componentTimer struct {
@@ -194,7 +202,7 @@ func (c *componentTimer) observe(tick int64, m *OpMetrics) {
 	if tick == 0 {
 		return
 	}
-	d := time.Now().UnixNano() - tick
+	d := m.nowNanos() - tick
 	if d < 0 {
 		d = 0
 	}

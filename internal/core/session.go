@@ -35,11 +35,13 @@ type session struct {
 }
 
 type pendingReq struct {
-	id       int
-	def      *Query // nil for deletions
-	sink     Sink
-	ack      chan struct{}
-	enqueued time.Time
+	id   int
+	def  *Query // nil for deletions
+	sink Sink
+	ack  chan struct{}
+	// enqueuedNanos is the engine-clock timestamp of the request, so
+	// deployment latency stays measurable under simulated time.
+	enqueuedNanos int64
 }
 
 func newSession(eng *Engine, batchSize int, timeout time.Duration) *session {
@@ -57,7 +59,7 @@ func (s *session) submit(id int, def *Query, sink Sink) (<-chan struct{}, error)
 	if s.closed {
 		return nil, fmt.Errorf("core: engine stopped")
 	}
-	req := &pendingReq{id: id, def: def, sink: sink, ack: make(chan struct{}), enqueued: time.Now()}
+	req := &pendingReq{id: id, def: def, sink: sink, ack: make(chan struct{}), enqueuedNanos: s.eng.cfg.NowNanos()}
 	s.creates = append(s.creates, req)
 	s.maybeFlushLocked()
 	return req.ack, nil
@@ -70,7 +72,7 @@ func (s *session) stop(id int) (<-chan struct{}, error) {
 	if s.closed {
 		return nil, fmt.Errorf("core: engine stopped")
 	}
-	req := &pendingReq{id: id, ack: make(chan struct{}), enqueued: time.Now()}
+	req := &pendingReq{id: id, ack: make(chan struct{}), enqueuedNanos: s.eng.cfg.NowNanos()}
 	s.deletes = append(s.deletes, req)
 	s.maybeFlushLocked()
 	return req.ack, nil
@@ -143,13 +145,13 @@ func (s *session) flushLocked() {
 	// windows (ending at or before the deletion time) still produce
 	// results after this point. Sinks are dropped when the engine drains.
 
-	now := time.Now()
+	now := s.eng.cfg.NowNanos()
 	for _, r := range creates {
-		s.records = append(s.records, DeployRecord{QueryID: r.id, Create: true, Latency: now.Sub(r.enqueued)})
+		s.records = append(s.records, DeployRecord{QueryID: r.id, Create: true, Latency: time.Duration(now - r.enqueuedNanos)})
 		close(r.ack)
 	}
 	for _, r := range deletes {
-		s.records = append(s.records, DeployRecord{QueryID: r.id, Create: false, Latency: now.Sub(r.enqueued)})
+		s.records = append(s.records, DeployRecord{QueryID: r.id, Create: false, Latency: time.Duration(now - r.enqueuedNanos)})
 		close(r.ack)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"astream/internal/bitset"
 	"astream/internal/event"
 )
@@ -123,11 +125,23 @@ func (s *sliceStore) degenerate() {
 		return
 	}
 	s.list = make([]event.Tuple, 0, s.count)
-	for _, g := range s.groups {
-		s.list = append(s.list, g.tuples...)
+	for _, k := range s.sortedGroupKeys() {
+		s.list = append(s.list, s.groups[k].tuples...)
 	}
 	s.groups = nil
 	s.grouped = false
+}
+
+// sortedGroupKeys returns the group keys in a fixed order: flattening must
+// not depend on map iteration order, or join result order diverges between
+// otherwise identical runs (replay determinism).
+func (s *sliceStore) sortedGroupKeys() []string {
+	keys := make([]string, 0, len(s.groups))
+	for k := range s.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Len returns the number of stored tuples.
@@ -153,14 +167,14 @@ func (s *sliceStore) ForEachGroup(fn func(qs bitset.Bits, tuples []event.Tuple))
 	}
 }
 
-// All returns every stored tuple (order unspecified).
+// All returns every stored tuple (grouped stores flatten in key order).
 func (s *sliceStore) All() []event.Tuple {
 	if !s.grouped {
 		return s.list
 	}
 	out := make([]event.Tuple, 0, s.count)
-	for _, g := range s.groups {
-		out = append(out, g.tuples...)
+	for _, k := range s.sortedGroupKeys() {
+		out = append(out, s.groups[k].tuples...)
 	}
 	return out
 }

@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomicFnPrefixes are the sync/atomic function families that take &addr.
+var atomicFnPrefixes = []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"}
+
+// NewNakedAtomic builds the mixed-access analyzer: any variable or struct
+// field that is ever passed to a sync/atomic function must be accessed
+// through sync/atomic everywhere. A plain load or store on the same
+// location is a data race the compiler will happily reorder — exactly the
+// silent-divergence failure mode the operator-overlap survey warns about.
+// Composite-literal field keys are exempt (initialization happens before
+// the value is shared).
+func NewNakedAtomic() *Analyzer {
+	a := &Analyzer{
+		Name: "naked-atomic",
+		Doc:  "flags plain reads/writes of variables that are elsewhere accessed via sync/atomic",
+	}
+	a.Run = func(p *Package) []Diagnostic {
+		// Pass 1: objects passed by address to sync/atomic functions.
+		tracked := map[types.Object]bool{}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p, call) || len(call.Args) == 0 {
+					return true
+				}
+				u, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				id := leafIdent(u.X)
+				if id == nil {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				tracked[obj] = true
+				return true
+			})
+		}
+		if len(tracked) == 0 {
+			return nil
+		}
+		// Pass 2: every plain load or store of a tracked object is a data
+		// race. Taking the address (&x, which includes the sanctioned
+		// atomic-call arguments) and composite-literal keys are not
+		// accesses; a raced pointer dereference is beyond this analysis.
+		var diags []Diagnostic
+		for _, f := range p.Files {
+			var stack []ast.Node
+			ast.Inspect(f, func(n ast.Node) bool {
+				if n == nil {
+					stack = stack[:len(stack)-1]
+					return true
+				}
+				stack = append(stack, n)
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[id]
+				if obj == nil || !tracked[obj] {
+					return true
+				}
+				if compositeLitKey(stack) || addressTaken(stack) {
+					return true
+				}
+				diags = append(diags, a.Diag(p, id.Pos(),
+					"%s is accessed with sync/atomic elsewhere; this plain access is a data race", id.Name))
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic function of the
+// Add/Load/Store/Swap/CompareAndSwap families.
+func isAtomicCall(p *Package, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	for _, pre := range atomicFnPrefixes {
+		if strings.HasPrefix(fn.Name(), pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// leafIdent returns the identifier naming the addressed location: the
+// selector leaf of x.f.g, or the identifier itself.
+func leafIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			return x.Sel
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// addressTaken reports whether the identifier on top of the stack is part
+// of an &x or &x.f expression: walking up through selector/index/paren
+// wrappers, the next ancestor is a unary AND.
+func addressTaken(stack []ast.Node) bool {
+	i := len(stack) - 2
+	for i >= 0 {
+		switch n := stack[i].(type) {
+		case *ast.SelectorExpr, *ast.ParenExpr, *ast.IndexExpr:
+			i--
+		case *ast.UnaryExpr:
+			return n.Op == token.AND
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// compositeLitKey reports whether the identifier on top of the stack is
+// the key of a composite-literal element (Field: value initialization).
+func compositeLitKey(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	id := stack[len(stack)-1]
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != id {
+		return false
+	}
+	_, ok = stack[len(stack)-3].(*ast.CompositeLit)
+	return ok
+}

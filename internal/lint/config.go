@@ -1,0 +1,36 @@
+package lint
+
+// ModuleAnalyzers returns the analyzer suite configured for this module's
+// layout. The wallclock allowlist names the packages that legitimately
+// read the wall clock: metrics and benchmark harnesses (they measure real
+// elapsed time), the driver (queue-wait accounting), data generators, and
+// the CLI/example binaries. Everything else — the engine core, the SPE
+// runtime, windows, checkpointing, changelog, cluster — must use the
+// injected NowNanos clock. The maporder scope names the packages whose
+// outputs must be deterministic: checkpoint encoding, changelog emission,
+// result routing, and the runtime/cluster exchanges.
+func ModuleAnalyzers(modPath string) []*Analyzer {
+	wallclockAllow := []string{
+		modPath + "/internal/metrics",
+		modPath + "/internal/experiments",
+		modPath + "/internal/baseline",
+		modPath + "/internal/driver",
+		modPath + "/internal/gen",
+		modPath + "/cmd/...",
+		modPath + "/examples/...",
+	}
+	mapOrderScope := []string{
+		modPath + "/internal/checkpoint",
+		modPath + "/internal/changelog",
+		modPath + "/internal/core",
+		modPath + "/internal/spe",
+		modPath + "/internal/cluster",
+	}
+	return []*Analyzer{
+		NewWallclock(wallclockAllow),
+		NewLockHeldSend(),
+		NewMapOrder(mapOrderScope),
+		NewLeakyGo(),
+		NewNakedAtomic(),
+	}
+}

@@ -1,0 +1,201 @@
+// Package lint is AStream's from-scratch static-analysis framework: a
+// stdlib-only (go/parser + go/ast + go/types + go/importer) vet-style
+// harness enforcing engine invariants the Go type system cannot express —
+// event-time purity, lock discipline around shared state, deterministic
+// iteration on encode paths, goroutine-teardown hygiene, and consistent
+// atomic access. The driver lives in cmd/astream-vet; each analyzer is a
+// pluggable unit implementing Analyzer.
+//
+// Diagnostics may be suppressed in source with
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// placed either on the offending line or alone on the line directly above
+// it. The reason is mandatory; a directive without one is itself reported.
+// The analyzer list may be "all" to match any analyzer.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package as seen by analyzers.
+type Package struct {
+	// Path is the package's import path (fixtures use a synthetic path).
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Fset positions every token of Files.
+	Fset *token.FileSet
+	// Files are the parsed sources, comments included.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info carries the use/def/type maps produced by the checker.
+	Info *types.Info
+	// Src maps filename to raw source bytes (directive parsing).
+	Src map[string][]byte
+}
+
+// Diagnostic is one finding, anchored to an exact source position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one pluggable invariant check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run inspects a package and returns raw findings; suppression is
+	// applied by the framework afterwards.
+	Run func(p *Package) []Diagnostic
+}
+
+// Diag builds a Diagnostic for the analyzer at pos.
+func (a *Analyzer) Diag(p *Package, pos token.Pos, format string, args ...any) Diagnostic {
+	return Diagnostic{Analyzer: a.Name, Pos: p.Fset.Position(pos), Message: fmt.Sprintf(format, args...)}
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file      string
+	line      int  // line the directive appears on
+	ownLine   bool // comment stands alone, so it covers line+1
+	analyzers []string
+	reason    string
+}
+
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)(?:\s+(.*))?$`)
+
+// collectIgnores parses every //lint:ignore directive in the package.
+// Malformed directives (no reason) are returned as diagnostics so they
+// cannot silently rot.
+func collectIgnores(p *Package) ([]ignoreDirective, []Diagnostic) {
+	var dirs []ignoreDirective
+	var bad []Diagnostic
+	for _, f := range p.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					bad = append(bad, Diagnostic{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "//lint:ignore directive is missing a reason",
+					})
+					continue
+				}
+				// The directive stands alone when nothing but whitespace
+				// precedes it on its line.
+				ownLine := pos.Column == 1 || onlyWhitespaceBefore(p, c.Pos())
+				dirs = append(dirs, ignoreDirective{
+					file:      pos.Filename,
+					line:      pos.Line,
+					ownLine:   ownLine,
+					analyzers: strings.Split(m[1], ","),
+					reason:    strings.TrimSpace(m[2]),
+				})
+			}
+		}
+	}
+	return dirs, bad
+}
+
+// onlyWhitespaceBefore reports whether the comment at pos is the first
+// non-blank token on its line.
+func onlyWhitespaceBefore(p *Package, pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	src, ok := p.Src[position.Filename]
+	if !ok {
+		return false
+	}
+	lineStart := position.Offset - (position.Column - 1)
+	if lineStart < 0 || position.Offset > len(src) {
+		return false
+	}
+	return strings.TrimSpace(string(src[lineStart:position.Offset])) == ""
+}
+
+// suppressed reports whether d is covered by any directive.
+func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+	for _, dir := range dirs {
+		if dir.file != d.Pos.Filename {
+			continue
+		}
+		if dir.line != d.Pos.Line && !(dir.ownLine && dir.line == d.Pos.Line-1) {
+			continue
+		}
+		for _, name := range dir.analyzers {
+			if name == "all" || name == d.Analyzer {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer over every package, applies //lint:ignore
+// suppression, and returns the surviving diagnostics in file/line order.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, p := range pkgs {
+		dirs, bad := collectIgnores(p)
+		out = append(out, bad...)
+		for _, a := range analyzers {
+			for _, d := range a.Run(p) {
+				if !suppressed(d, dirs) {
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		if out[i].Pos.Column != out[j].Pos.Column {
+			return out[i].Pos.Column < out[j].Pos.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// pathMatches reports whether an import path matches any pattern. A
+// pattern matches exactly, or as a prefix when it ends in "/..." .
+func pathMatches(path string, patterns []string) bool {
+	for _, pat := range patterns {
+		if strings.HasSuffix(pat, "/...") {
+			if path == strings.TrimSuffix(pat, "/...") || strings.HasPrefix(path, strings.TrimSuffix(pat, "...")) {
+				return true
+			}
+			continue
+		}
+		if path == pat {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Loader parses and type-checks packages without go/packages or any other
+// module outside the standard library. Standard-library imports are
+// resolved by the stdlib source importer (go/importer "source" mode, which
+// type-checks GOROOT sources); intra-module imports are resolved against
+// packages the loader has already checked, in dependency order. One Loader
+// should be reused across loads: the source importer caches the stdlib
+// packages it has checked.
+type Loader struct {
+	fset *token.FileSet
+	std  types.Importer
+	// checked caches module packages by import path across loads.
+	checked map[string]*types.Package
+}
+
+// NewLoader creates a loader with a fresh file set and stdlib importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		fset:    fset,
+		std:     importer.ForCompiler(fset, "source", nil),
+		checked: map[string]*types.Package{},
+	}
+}
+
+// Fset returns the loader's file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// chainImporter resolves module-local paths first, then the stdlib.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+// rawPkg is one package's parsed-but-unchecked sources.
+type rawPkg struct {
+	path    string
+	dir     string
+	name    string
+	files   []*ast.File
+	src     map[string][]byte
+	imports []string // module-local imports only
+}
+
+// LoadModule loads every non-test package of the Go module rooted at root
+// (the directory containing go.mod), type-checks them in dependency order,
+// and returns them sorted by import path. testdata, hidden, and underscore
+// directories are skipped, as are _test.go files: test code is exempt from
+// the engine's invariants by design.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	var raws []*rawPkg
+	err = filepath.Walk(root, func(p string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			return nil
+		}
+		base := filepath.Base(p)
+		if p != root && (base == "testdata" || strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_")) {
+			return filepath.SkipDir
+		}
+		rp, err := l.parseDir(p)
+		if err != nil {
+			return err
+		}
+		if rp == nil {
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		rp.path = modPath
+		if rel != "." {
+			rp.path = modPath + "/" + filepath.ToSlash(rel)
+		}
+		raws = append(raws, rp)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ordered, err := topoSort(raws, modPath)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, rp := range ordered {
+		pkg, err := l.check(rp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadDir loads the single package in dir under the given synthetic import
+// path. The package may import the standard library and any package loaded
+// earlier through this loader; fixture packages should stick to the
+// stdlib.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	rp, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rp == nil {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	rp.path = importPath
+	return l.check(rp)
+}
+
+// parseDir parses the non-test Go files of one directory; nil when the
+// directory holds no Go files.
+func (l *Loader) parseDir(dir string) (*rawPkg, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	rp := &rawPkg{dir: dir, src: map[string][]byte{}}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		if rp.name == "" {
+			rp.name = f.Name.Name
+		} else if rp.name != f.Name.Name {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s", dir, rp.name, f.Name.Name)
+		}
+		rp.files = append(rp.files, f)
+		rp.src[full] = src
+		for _, imp := range f.Imports {
+			ip := strings.Trim(imp.Path.Value, `"`)
+			if !seen[ip] {
+				seen[ip] = true
+				rp.imports = append(rp.imports, ip)
+			}
+		}
+	}
+	if len(rp.files) == 0 {
+		return nil, nil
+	}
+	return rp, nil
+}
+
+// check type-checks one parsed package against everything checked so far.
+func (l *Loader) check(rp *rawPkg) (*Package, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: &chainImporter{local: l.checked, std: l.std}}
+	tpkg, err := conf.Check(rp.path, l.fset, rp.files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", rp.path, err)
+	}
+	l.checked[rp.path] = tpkg
+	return &Package{
+		Path:  rp.path,
+		Dir:   rp.dir,
+		Fset:  l.fset,
+		Files: rp.files,
+		Types: tpkg,
+		Info:  info,
+		Src:   rp.src,
+	}, nil
+}
+
+// topoSort orders packages so every module-local import precedes its
+// importer.
+func topoSort(raws []*rawPkg, modPath string) ([]*rawPkg, error) {
+	byPath := map[string]*rawPkg{}
+	for _, rp := range raws {
+		byPath[rp.path] = rp
+	}
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	state := map[string]int{}
+	var ordered []*rawPkg
+	var visit func(rp *rawPkg) error
+	visit = func(rp *rawPkg) error {
+		switch state[rp.path] {
+		case gray:
+			return fmt.Errorf("lint: import cycle through %s", rp.path)
+		case black:
+			return nil
+		}
+		state[rp.path] = gray
+		for _, ip := range rp.imports {
+			if !strings.HasPrefix(ip, modPath) {
+				continue
+			}
+			dep, ok := byPath[ip]
+			if !ok {
+				return fmt.Errorf("lint: %s imports unknown module package %s", rp.path, ip)
+			}
+			if err := visit(dep); err != nil {
+				return err
+			}
+		}
+		state[rp.path] = black
+		ordered = append(ordered, rp)
+		return nil
+	}
+	// Deterministic order regardless of filesystem enumeration.
+	sort.Slice(raws, func(i, j int) bool { return raws[i].path < raws[j].path })
+	for _, rp := range raws {
+		if err := visit(rp); err != nil {
+			return nil, err
+		}
+	}
+	return ordered, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}

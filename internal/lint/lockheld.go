@@ -1,0 +1,258 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NewLockHeldSend builds the lock-discipline analyzer: it flags channel
+// sends, blocking receives, and blocking selects performed while a
+// sync.Mutex or sync.RWMutex is held. In a bounded-channel engine this is
+// the classic deadlock shape — the send backpressures, the lock never
+// releases, and every goroutine needing the lock wedges behind it (cf.
+// STRETCH's shared-window lock discipline). The scan is flow-sensitive
+// within one function: branches are explored with a copy of the lock
+// state, closures are analyzed independently with an empty state, and a
+// deferred Unlock keeps the lock held to the end of the function.
+func NewLockHeldSend() *Analyzer {
+	a := &Analyzer{
+		Name: "lockheld-send",
+		Doc:  "flags channel sends and blocking receives while a sync.Mutex/RWMutex is held",
+	}
+	a.Run = func(p *Package) []Diagnostic {
+		var diags []Diagnostic
+		report := func(pos token.Pos, format string, args ...any) {
+			diags = append(diags, a.Diag(p, pos, format, args...))
+		}
+		forEachFunc(p, func(body *ast.BlockStmt) {
+			s := &lockScan{pkg: p, held: map[string]token.Pos{}, report: report}
+			s.block(body)
+		})
+		return diags
+	}
+	return a
+}
+
+// forEachFunc visits the body of every function and function literal in
+// the package, each exactly once.
+func forEachFunc(p *Package, fn func(body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
+}
+
+// lockScan walks one function body tracking which mutexes are held.
+type lockScan struct {
+	pkg    *Package
+	held   map[string]token.Pos // lock expr → acquisition position
+	report func(pos token.Pos, format string, args ...any)
+}
+
+// clone copies the scan state for a branch.
+func (s *lockScan) clone() *lockScan {
+	held := make(map[string]token.Pos, len(s.held))
+	for k, v := range s.held {
+		held[k] = v
+	}
+	return &lockScan{pkg: s.pkg, held: held, report: s.report}
+}
+
+// anyHeld returns the render of one held lock ("" when none).
+func (s *lockScan) anyHeld() string {
+	for k := range s.held {
+		return k
+	}
+	return ""
+}
+
+// syncLockCall classifies a call as a sync Lock/Unlock method; it returns
+// the rendered receiver and the method name, or ok=false.
+func syncLockCall(p *Package, call *ast.CallExpr) (recv, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	obj := p.Info.Uses[sel.Sel]
+	fn, isFn := obj.(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return types.ExprString(sel.X), fn.Name(), true
+	}
+	return "", "", false
+}
+
+func (s *lockScan) block(b *ast.BlockStmt) {
+	for _, st := range b.List {
+		s.stmt(st)
+	}
+}
+
+func (s *lockScan) stmt(st ast.Stmt) {
+	switch st := st.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if recv, method, ok := syncLockCall(s.pkg, call); ok {
+				switch method {
+				case "Lock", "RLock":
+					s.held[recv] = call.Pos()
+				case "Unlock", "RUnlock":
+					delete(s.held, recv)
+				}
+				return
+			}
+		}
+		s.expr(st.X)
+	case *ast.DeferStmt:
+		if _, _, ok := syncLockCall(s.pkg, st.Call); ok {
+			// defer x.Unlock() holds the lock to function end: the held
+			// entry simply stays.
+			return
+		}
+		for _, arg := range st.Call.Args {
+			s.expr(arg)
+		}
+	case *ast.GoStmt:
+		// The goroutine body runs later without our locks; arguments are
+		// evaluated now.
+		for _, arg := range st.Call.Args {
+			s.expr(arg)
+		}
+	case *ast.SendStmt:
+		if lock := s.anyHeld(); lock != "" {
+			s.report(st.Arrow, "channel send while %s is held can deadlock the engine; release the lock first", lock)
+		}
+		s.expr(st.Chan)
+		s.expr(st.Value)
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.expr(e)
+		}
+		for _, e := range st.Lhs {
+			s.expr(e)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := st.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						s.expr(v)
+					}
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.expr(e)
+		}
+	case *ast.IfStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		s.expr(st.Cond)
+		s.clone().block(st.Body)
+		if st.Else != nil {
+			s.clone().stmt(st.Else)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Cond != nil {
+			s.expr(st.Cond)
+		}
+		s.clone().block(st.Body)
+	case *ast.RangeStmt:
+		s.expr(st.X)
+		if lock := s.anyHeld(); lock != "" {
+			if t := s.pkg.Info.Types[st.X].Type; t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					s.report(st.For, "range over channel while %s is held blocks between receives; release the lock first", lock)
+				}
+			}
+		}
+		s.clone().block(st.Body)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			s.stmt(st.Init)
+		}
+		if st.Tag != nil {
+			s.expr(st.Tag)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				br := s.clone()
+				for _, b := range cc.Body {
+					br.stmt(b)
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				br := s.clone()
+				for _, b := range cc.Body {
+					br.stmt(b)
+				}
+			}
+		}
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if lock := s.anyHeld(); lock != "" && !hasDefault {
+			s.report(st.Select, "select with no default blocks while %s is held; release the lock first", lock)
+		}
+		for _, c := range st.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				br := s.clone()
+				for _, b := range cc.Body {
+					br.stmt(b)
+				}
+			}
+		}
+	case *ast.BlockStmt:
+		s.block(st)
+	case *ast.LabeledStmt:
+		s.stmt(st.Stmt)
+	case *ast.IncDecStmt:
+		s.expr(st.X)
+	}
+}
+
+// expr flags blocking receives inside an expression while locked; nested
+// function literals are opaque (they run with their own lock state).
+func (s *lockScan) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if lock := s.anyHeld(); lock != "" {
+					s.report(n.OpPos, "blocking channel receive while %s is held can deadlock the engine; release the lock first", lock)
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,65 @@
+// Package leakygo is a lint fixture: goroutines blocking on a captured
+// channel with no shutdown signal must be flagged; each recognized signal
+// shape (close, range, comma-ok, multi-case select, context) must not.
+package leakygo
+
+import "context"
+
+func badRecv() {
+	leak := make(chan int)
+	go func() { // want "blocks on captured channel leak"
+		for {
+			<-leak
+		}
+	}()
+}
+
+func badSend() {
+	sink := make(chan int)
+	go func() { // want "blocks on captured channel sink"
+		sink <- 1
+	}()
+}
+
+func goodClosed() {
+	work := make(chan int)
+	go func() {
+		for {
+			<-work
+		}
+	}()
+	close(work)
+}
+
+func goodRange(src chan int) {
+	go func() {
+		for v := range src {
+			_ = v
+		}
+	}()
+}
+
+func goodCommaOk(src chan int) {
+	go func() {
+		for {
+			v, ok := <-src
+			if !ok {
+				return
+			}
+			_ = v
+		}
+	}()
+}
+
+func goodContext(ctx context.Context, src chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-src:
+				_ = v
+			}
+		}
+	}()
+}

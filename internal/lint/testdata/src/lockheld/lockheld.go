@@ -1,0 +1,77 @@
+// Package lockheld is a lint fixture: blocking channel operations under a
+// held sync.Mutex/RWMutex must be flagged; the release-first shapes and
+// guarded selects must not.
+package lockheld
+
+import "sync"
+
+type engine struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+func (e *engine) badSend() {
+	e.mu.Lock()
+	e.out <- 1 // want "channel send while e\.mu is held"
+	e.mu.Unlock()
+}
+
+func (e *engine) badRecv(in chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	<-in // want "blocking channel receive while e\.mu is held"
+}
+
+func (e *engine) badSelect(in chan int) {
+	e.mu.Lock()
+	select { // want "select with no default blocks while e\.mu is held"
+	case v := <-in:
+		_ = v
+	}
+	e.mu.Unlock()
+}
+
+func (e *engine) badRange(in chan int) {
+	e.mu.Lock()
+	for range in { // want "range over channel while e\.mu is held"
+	}
+	e.mu.Unlock()
+}
+
+type table struct {
+	rw   sync.RWMutex
+	sink chan string
+}
+
+func (t *table) badReadLocked() {
+	t.rw.RLock()
+	t.sink <- "x" // want "channel send while t\.rw is held"
+	t.rw.RUnlock()
+}
+
+func (e *engine) goodReleaseFirst() {
+	e.mu.Lock()
+	v := len(e.out)
+	e.mu.Unlock()
+	e.out <- v
+}
+
+func (e *engine) goodGuardedSelect(in chan int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	select {
+	case v := <-in:
+		_ = v
+	default:
+	}
+}
+
+func (e *engine) goodBranchReleases(in chan int, fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		<-in
+		return
+	}
+	e.mu.Unlock()
+}

@@ -1,0 +1,61 @@
+// Package maporder is a lint fixture: ranging over a map while feeding an
+// ordered output must be flagged unless a genuine sort runs downstream.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badAppend(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { // want "appends to a slice built outside it"
+		out = append(out, k)
+	}
+	return out
+}
+
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want "sends on a channel"
+		ch <- k
+	}
+}
+
+func badWrite(m map[string]int, w io.Writer) {
+	for k, v := range m { // want "calls Fprintf"
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+// sort.Search inspects without ordering; it must not count as a sort.
+func badSearchIsNotSort(m map[string]int, out []int) []int {
+	for _, v := range m { // want "appends to a slice built outside it"
+		out = append(out, v)
+	}
+	sort.SearchInts(out, 1)
+	return out
+}
+
+func goodSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func goodSliceRange(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}
+
+func goodLocalAccumulator(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

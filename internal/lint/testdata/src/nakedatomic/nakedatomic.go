@@ -1,0 +1,50 @@
+// Package nakedatomic is a lint fixture: a location touched by sync/atomic
+// anywhere must be touched by sync/atomic everywhere. Plain loads and
+// stores of such locations must be flagged; address-taking and
+// composite-literal keys must not.
+package nakedatomic
+
+import "sync/atomic"
+
+type counter struct {
+	hits  int64
+	total int64
+}
+
+func (c *counter) incr() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counter) read() int64 {
+	return c.hits // want "hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want "hits is accessed with sync/atomic elsewhere"
+}
+
+func (c *counter) readTotal() int64 {
+	return atomic.LoadInt64(&c.total)
+}
+
+func (c *counter) addTotal(n int64) {
+	atomic.AddInt64(&c.total, n)
+}
+
+func newCounter() *counter {
+	return &counter{hits: 0}
+}
+
+var running int32
+
+func start() {
+	atomic.StoreInt32(&running, 1)
+}
+
+func isRunning() bool {
+	return running == 1 // want "running is accessed with sync/atomic elsewhere"
+}
+
+func runningPtr() *int32 {
+	return &running
+}

@@ -1,0 +1,26 @@
+// Package wallclock is a lint fixture: every time.Now/Since/Until call
+// below must be flagged; reads through the injected clock must not.
+package wallclock
+
+import "time"
+
+var nowNanos = func() int64 { return 0 }
+
+func deploy() int64 {
+	t := time.Now() // want "time\.Now reads the wall clock"
+	_ = t
+	return nowNanos()
+}
+
+func latency(start time.Time) time.Duration {
+	return time.Since(start) // want "time\.Since reads the wall clock"
+}
+
+func remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time\.Until reads the wall clock"
+}
+
+func injected() time.Duration {
+	// Reading the injected clock and using time's types is fine.
+	return time.Duration(nowNanos())
+}

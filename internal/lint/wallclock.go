@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the time-package functions that read the wall clock.
+// Engine hot paths must use the injected NowNanos clock instead so that
+// simulated-time tests are deterministic and event-time semantics (paper
+// §3.3) never silently depend on processing time.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// NewWallclock builds the event-time-purity analyzer. Packages matching
+// allow (exact path or "prefix/..." pattern) are exempt: metrics,
+// benchmark drivers, and sinks legitimately read the wall clock. An empty
+// allow list exempts nothing.
+func NewWallclock(allow []string) *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc:  "flags time.Now/time.Since/time.Until in engine hot paths; use the injected NowNanos clock",
+	}
+	a.Run = func(p *Package) []Diagnostic {
+		if pathMatches(p.Path, allow) {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := p.Info.Uses[sel.Sel]
+				if obj == nil || obj.Pkg() == nil {
+					return true
+				}
+				if obj.Pkg().Path() != "time" || !wallclockFuncs[obj.Name()] {
+					return true
+				}
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true
+				}
+				diags = append(diags, a.Diag(p, sel.Pos(),
+					"time.%s reads the wall clock in an engine hot path; use the injected NowNanos clock", obj.Name()))
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
