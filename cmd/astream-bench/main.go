@@ -13,13 +13,17 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
+	"astream/internal/core"
 	"astream/internal/experiments"
 )
 
@@ -29,10 +33,19 @@ func main() {
 	measure := flag.Duration("measure", 700*time.Millisecond, "measurement window per run")
 	nodesFlag := flag.String("nodes", "4,8", "comma-separated simulated node counts")
 	maxQ := flag.Int("maxq", 256, "maximum query parallelism for fig17")
+	jsonDir := flag.String("json", "", "write BENCH_kernels.json and BENCH_figs.json into this directory and exit")
 	flag.Parse()
 
 	sc := experiments.Scale{Warmup: *warmup, Measure: *measure}
 	nodes := parseInts(*nodesFlag)
+
+	if *jsonDir != "" {
+		if err := writeJSON(*jsonDir, sc, nodes); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func()) {
 		if *exp != "all" && *exp != name {
@@ -139,6 +152,67 @@ func main() {
 			os.Exit(2)
 		}
 	}
+}
+
+// kernelResult is one row of BENCH_kernels.json.
+type kernelResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// writeJSON runs the hot-path kernel microbenchmarks and the headline figure
+// experiments, emitting machine-readable BENCH_kernels.json and
+// BENCH_figs.json for before/after comparisons in CI and PR descriptions.
+func writeJSON(dir string, sc experiments.Scale, nodes []int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	var kernels []kernelResult
+	for _, kb := range core.KernelBenchmarks() {
+		kb := kb
+		r := testing.Benchmark(func(b *testing.B) {
+			run := kb.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(b.N)
+		})
+		kernels = append(kernels, kernelResult{
+			Name:        kb.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Printf("kernel %-28s %12.1f ns/op %8d B/op %6d allocs/op\n",
+			kernels[len(kernels)-1].Name, kernels[len(kernels)-1].NsPerOp,
+			kernels[len(kernels)-1].BytesPerOp, kernels[len(kernels)-1].AllocsPerOp)
+	}
+	if err := writeFileJSON(filepath.Join(dir, "BENCH_kernels.json"), kernels); err != nil {
+		return err
+	}
+
+	fig9 := experiments.Fig9SC1Throughput(sc, nodes)
+	fig1112 := experiments.Fig11And12SC1Latencies(sc, nodes)
+	fmt.Printf("fig9_sc1_throughput: %d measurements\n", len(fig9))
+	fmt.Printf("fig11_12_sc1_latency: %d measurements\n", len(fig1112))
+	figs := map[string][]experiments.Measurement{
+		"fig9_sc1_throughput":  fig9,
+		"fig11_12_sc1_latency": fig1112,
+	}
+	return writeFileJSON(filepath.Join(dir, "BENCH_figs.json"), figs)
+}
+
+func writeFileJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func parseInts(s string) []int {

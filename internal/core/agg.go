@@ -27,11 +27,18 @@ type aggVal struct {
 
 func newAggVal() *aggVal {
 	v := &aggVal{}
+	v.reset()
+	return v
+}
+
+func (v *aggVal) reset() {
+	v.Count = 0
+	v.IngestNanos = 0
 	for i := range v.Min {
+		v.Sum[i] = 0
 		v.Min[i] = 1<<63 - 1
 		v.Max[i] = -1 << 63
 	}
-	return v
 }
 
 func (v *aggVal) fold(t *event.Tuple) {
@@ -88,9 +95,13 @@ func (v *aggVal) finalize(fn sqlstream.AggFunc, field int) int64 {
 }
 
 // aggGroup is a query-set group inside one slice: per-key shared partials.
+// keys records byKey's keys in arrival order so walking a group never
+// iterates the map (merge is commutative, so arrival order is fine there;
+// emission order comes from the accumulator's sorted keys).
 type aggGroup struct {
 	qs    bitset.Bits
 	byKey map[int64]*aggVal
+	keys  []int64
 }
 
 // aggQuery is one active query served by the aggregation operator.
@@ -98,8 +109,12 @@ type aggQuery struct {
 	q    *Query
 	slot int
 	port int // which input port feeds this query's aggregation
-	// sessions is per-key session state for session-window queries.
+	// sessions is per-key session state for session-window queries;
+	// sessKeys mirrors its keys in ascending order (maintained on
+	// creation/expiry) so harvest iterates deterministically without a
+	// per-watermark sort.
 	sessions map[int64]*window.SessionState
+	sessKeys []int64
 	// since/until/endEpoch implement event-time query lifetime, exactly as
 	// in the shared join: windows ending in (since, until] fire, masked by
 	// changelog-sets capped at endEpoch.
@@ -115,6 +130,19 @@ func (a *aggQuery) spec() window.Spec {
 	return a.q.Window
 }
 
+// insertSortedInt64 inserts v into ascending s, keeping it sorted (no-op if
+// already present).
+func insertSortedInt64(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
 // SharedAggregation is the shared windowed aggregation operator (§3.1.5).
 // Port 0 carries raw stream-0 tuples (arity-1 aggregations and selections);
 // port k ≥ 1 carries the output of join stage k-1 (complex queries of arity
@@ -127,10 +155,12 @@ type SharedAggregation struct {
 	table     *changelog.Table
 	active    map[int]*aggQuery // by query ID
 	selection map[int]*aggQuery // selection queries (terminal at port 0)
-	// selOrdered mirrors selection sorted by slot: the per-tuple delivery
-	// loop iterates it so result order is deterministic (and avoids map
-	// iteration in the hot path). Rebuilt on changelog and purge.
-	selOrdered []*aggQuery
+	// activeOrdered/selOrdered mirror the maps sorted by (slot, query ID),
+	// maintained incrementally on changelog and purge: the per-tuple and
+	// watermark paths iterate them so delivery order is deterministic
+	// (replay determinism, §3.3) without per-emission sorts or map ranges.
+	activeOrdered []*aggQuery
+	selOrdered    []*aggQuery
 	// maskVersions holds the per-port/selection/session slot masks,
 	// versioned by event-time. Slot reuse makes a bare slot ambiguous (the
 	// same bit can mean "aggregation input" in one epoch and "join input
@@ -143,6 +173,38 @@ type SharedAggregation struct {
 	lateness     event.Time
 	lastWM       event.Time
 	evictedThru  event.Time
+
+	// Steady-state scratch (owned by the instance goroutine): query-set
+	// intersection temporaries, the trigger and cap grouping, per-trigger
+	// accumulators, and the aggVal freelist.
+	qsTmp    bitset.Bits
+	effTmp   bitset.Bits
+	trigTmp  []*aggTrigger
+	capTmp   []*aggCapGroup
+	accums   []*slotAccum
+	valPool  []*aggVal
+	specsTmp []window.Spec
+}
+
+// aggTrigger collects the queries fired by one window extent.
+type aggTrigger struct {
+	ext     window.Extent
+	queries []*aggQuery
+}
+
+// aggCapGroup batches a trigger's queries (by index) sharing one
+// changelog-set cap.
+type aggCapGroup struct {
+	cap  uint64
+	idxs []int
+}
+
+// slotAccum accumulates one query's window result across slices. keys is
+// kept ascending by binary insert so emission needs no sort.
+type slotAccum struct {
+	aq    *aggQuery
+	byKey map[int64]*aggVal
+	keys  []int64
 }
 
 // maskVersion is the slot-mask table in effect from a given event-time.
@@ -170,25 +232,34 @@ func NewSharedAggregation(ports int, lateness event.Time, router *Router, m *OpM
 	}
 }
 
-// sortedQueryIDs returns the map's query IDs in ascending order, so
-// changelog- and watermark-path iteration is deterministic across runs
-// (replay determinism, §3.3).
-func sortedQueryIDs(m map[int]*aggQuery) []int {
-	ids := make([]int, 0, len(m))
-	for id := range m {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
+// insertBySlot adds aq to the (slot, ID)-ordered list by binary insert
+// (changelog path — cold).
+func insertBySlot(list []*aggQuery, aq *aggQuery) []*aggQuery {
+	i := sort.Search(len(list), func(i int) bool {
+		o := list[i]
+		if o.slot != aq.slot {
+			return o.slot > aq.slot
+		}
+		return o.q.ID > aq.q.ID
+	})
+	list = append(list, nil)
+	copy(list[i+1:], list[i:])
+	list[i] = aq
+	return list
 }
 
-// rebuildSelOrdered refreshes the slot-ordered selection list.
-func (a *SharedAggregation) rebuildSelOrdered() {
-	a.selOrdered = a.selOrdered[:0]
-	for _, sq := range a.selection {
-		a.selOrdered = append(a.selOrdered, sq)
+// filterOrdered drops entries matching gone, in place.
+func filterOrdered(list []*aggQuery, gone func(*aggQuery) bool) []*aggQuery {
+	kept := list[:0]
+	for _, aq := range list {
+		if !gone(aq) {
+			kept = append(kept, aq)
+		}
 	}
-	sort.Slice(a.selOrdered, func(i, j int) bool { return a.selOrdered[i].slot < a.selOrdered[j].slot })
+	for i := len(kept); i < len(list); i++ {
+		list[i] = nil
+	}
+	return kept
 }
 
 // masksAt returns the mask table in effect at event-time t.
@@ -233,23 +304,27 @@ func (a *SharedAggregation) OnChangelog(payload any, at event.Time, _ *spe.Emitt
 		}
 		switch {
 		case q.Kind == KindSelection:
-			a.selection[c.Query] = &aggQuery{q: q, slot: c.Slot, port: 0, since: at, until: event.MaxTime, endEpoch: ^uint64(0)}
+			sq := &aggQuery{q: q, slot: c.Slot, port: 0, since: at, until: event.MaxTime, endEpoch: ^uint64(0)}
+			a.selection[c.Query] = sq
+			a.selOrdered = insertBySlot(a.selOrdered, sq)
 		case aggPortOf(q) >= 0 && aggPortOf(q) < a.ports:
 			aq := &aggQuery{q: q, slot: c.Slot, port: aggPortOf(q), since: at, until: event.MaxTime, endEpoch: ^uint64(0)}
 			if aq.spec().Kind == window.Session {
 				aq.sessions = make(map[int64]*window.SessionState)
 			}
 			a.active[c.Query] = aq
+			a.activeOrdered = insertBySlot(a.activeOrdered, aq)
 		}
 	}
 	// Append a new mask version effective from this changelog's time,
 	// built from the queries running after it (pending-deleted queries
 	// keep their bits in OLDER versions, where in-flight pre-deletion
 	// tuples resolve). Epoch specs likewise come from running queries.
+	// Specs are stored by the slicer's epoch history, so they must be a
+	// fresh slice, not scratch.
 	mv := maskVersion{from: at, portMasks: make([]bitset.Bits, a.ports)}
-	specs := make([]window.Spec, 0, len(a.active))
-	for _, id := range sortedQueryIDs(a.active) {
-		aq := a.active[id]
+	specs := make([]window.Spec, 0, len(a.activeOrdered))
+	for _, aq := range a.activeOrdered {
 		if aq.until == event.MaxTime {
 			mv.portMasks[aq.port].Set(aq.slot)
 			if aq.sessions != nil {
@@ -260,12 +335,11 @@ func (a *SharedAggregation) OnChangelog(payload any, at event.Time, _ *spe.Emitt
 			specs = append(specs, sp)
 		}
 	}
-	for _, sq := range a.selection {
+	for _, sq := range a.selOrdered {
 		if sq.until == event.MaxTime {
 			mv.selMask.Set(sq.slot)
 		}
 	}
-	a.rebuildSelOrdered()
 	a.maskVersions = append(a.maskVersions, mv)
 	if err := a.sl.addEpoch(at, msg.CL.Seq, specs); err != nil {
 		panic(fmt.Sprintf("core: agg epoch: %v", err))
@@ -275,8 +349,23 @@ func (a *SharedAggregation) OnChangelog(payload any, at event.Time, _ *spe.Emitt
 	}
 }
 
+// getVal pops a pooled partial (reset) or allocates one.
+func (a *SharedAggregation) getVal() *aggVal {
+	if n := len(a.valPool); n > 0 {
+		v := a.valPool[n-1]
+		a.valPool = a.valPool[:n-1]
+		v.reset()
+		return v
+	}
+	return newAggVal()
+}
+
+func (a *SharedAggregation) putVal(v *aggVal) { a.valPool = append(a.valPool, v) }
+
 // OnTuple folds the tuple into slice partials (and serves selection queries
-// and session windows directly).
+// and session windows directly). Steady state allocates nothing: the masked
+// query-set lands in a scratch bitset, group lookup is key-scratch based, and
+// per-key partials come from the freelist.
 func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 	mv := a.masksAt(t.Time)
 	// Selection queries: terminal, stateless, port 0 only.
@@ -296,8 +385,8 @@ func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 	if port >= len(mv.portMasks) {
 		return
 	}
-	qs := t.QuerySet.And(mv.portMasks[port])
-	if qs.IsEmpty() {
+	t.QuerySet.AndInto(mv.portMasks[port], &a.qsTmp)
+	if a.qsTmp.IsEmpty() {
 		return
 	}
 	if t.Time < a.evictedThru {
@@ -305,38 +394,38 @@ func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 		return
 	}
 	// Session-window queries keep per-key data-driven state.
-	timeQS := qs
-	if qs.Intersects(mv.sessMask) {
-		for _, aq := range a.active {
-			if aq.sessions == nil || !qs.Test(aq.slot) || t.Time < aq.since || t.Time >= aq.until {
+	if a.qsTmp.Intersects(mv.sessMask) {
+		for _, aq := range a.activeOrdered {
+			if aq.sessions == nil || !a.qsTmp.Test(aq.slot) || t.Time < aq.since || t.Time >= aq.until {
 				continue
 			}
 			ss := aq.sessions[t.Key]
 			if ss == nil {
 				ss = window.NewSessionState(aq.spec().Gap)
 				aq.sessions[t.Key] = ss
+				aq.sessKeys = insertSortedInt64(aq.sessKeys, t.Key)
 			}
 			ss.Add(t.Time, a.valueOf(aq, &t))
 		}
-		timeQS = timeQS.AndNot(mv.sessMask)
-	}
-	if timeQS.IsEmpty() {
-		return
+		a.qsTmp.AndNotInPlace(mv.sessMask)
+		if a.qsTmp.IsEmpty() {
+			return
+		}
 	}
 	sl := a.sl.sliceFor(t.Time)
 	if sl.aggs == nil {
-		sl.aggs = make(map[string]*aggGroup)
+		sl.aggs = newQSIndex[aggGroup]()
 	}
-	k := timeQS.Key()
-	g := sl.aggs[k]
+	g := sl.aggs.get(a.qsTmp)
 	if g == nil {
-		g = &aggGroup{qs: timeQS.Clone(), byKey: make(map[int64]*aggVal)}
-		sl.aggs[k] = g
+		g = &aggGroup{qs: a.qsTmp.Clone(), byKey: make(map[int64]*aggVal)}
+		sl.aggs.put(g.qs, g)
 	}
 	v := g.byKey[t.Key]
 	if v == nil {
-		v = newAggVal()
+		v = a.getVal()
 		g.byKey[t.Key] = v
+		g.keys = append(g.keys, t.Key)
 	}
 	v.fold(&t)
 }
@@ -346,6 +435,26 @@ func (a *SharedAggregation) valueOf(aq *aggQuery, t *event.Tuple) int64 {
 		return 1
 	}
 	return t.Fields[aq.q.AggField]
+}
+
+// triggerFor returns the trigger for ext, keeping trigTmp sorted by
+// (End, Start) via binary insert instead of a per-watermark sort.
+func (a *SharedAggregation) triggerFor(ext window.Extent) *aggTrigger {
+	i := sort.Search(len(a.trigTmp), func(i int) bool {
+		t := a.trigTmp[i]
+		if t.ext.End != ext.End {
+			return t.ext.End > ext.End
+		}
+		return t.ext.Start > ext.Start
+	})
+	if i < len(a.trigTmp) && a.trigTmp[i].ext == ext {
+		return a.trigTmp[i]
+	}
+	tr := &aggTrigger{ext: ext}
+	a.trigTmp = append(a.trigTmp, nil)
+	copy(a.trigTmp[i+1:], a.trigTmp[i:])
+	a.trigTmp[i] = tr
+	return tr
 }
 
 // OnWatermark triggers windows ending in (lastWM, wm], harvests closed
@@ -364,15 +473,10 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 		}
 	}
 
-	// Group triggered time-window queries by extent.
-	type trigger struct {
-		ext     window.Extent
-		queries []*aggQuery
-	}
-	byExt := map[window.Extent]*trigger{}
-	var triggers []*trigger
-	for _, id := range sortedQueryIDs(a.active) {
-		aq := a.active[id]
+	// Group triggered time-window queries by extent; activeOrdered keeps
+	// the per-trigger query lists in (slot, ID) order.
+	a.trigTmp = a.trigTmp[:0]
+	for _, aq := range a.activeOrdered {
 		sp := aq.spec()
 		if !sp.IsTimeBased() {
 			continue
@@ -385,39 +489,24 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 			if ext.End > aq.until {
 				continue
 			}
-			tr := byExt[ext]
-			if tr == nil {
-				tr = &trigger{ext: ext}
-				byExt[ext] = tr
-				triggers = append(triggers, tr)
-			}
+			tr := a.triggerFor(ext)
 			tr.queries = append(tr.queries, aq)
 		}
 	}
-	// Fire in event-time order (matches the shared join's trigger order).
-	sort.Slice(triggers, func(i, j int) bool {
-		if triggers[i].ext.End != triggers[j].ext.End {
-			return triggers[i].ext.End < triggers[j].ext.End
-		}
-		return triggers[i].ext.Start < triggers[j].ext.Start
-	})
 	cur := a.table.Latest()
-	for _, tr := range triggers {
+	for _, tr := range a.trigTmp {
 		a.fireWindow(tr.ext, tr.queries, cur)
 	}
 
-	// Session harvest, in (query, key) order for deterministic emission.
-	for _, id := range sortedQueryIDs(a.active) {
-		aq := a.active[id]
+	// Session harvest, in (slot, key) order for deterministic emission;
+	// sessKeys is maintained sorted so no per-watermark key sort.
+	for _, aq := range a.activeOrdered {
 		if aq.sessions == nil {
 			continue
 		}
-		sessKeys := make([]int64, 0, len(aq.sessions))
-		for key := range aq.sessions {
-			sessKeys = append(sessKeys, key)
-		}
-		sort.Slice(sessKeys, func(i, j int) bool { return sessKeys[i] < sessKeys[j] })
-		for _, key := range sessKeys {
+		keys := aq.sessKeys
+		kept := keys[:0]
+		for _, key := range keys {
 			ss := aq.sessions[key]
 			for _, cs := range ss.Harvest(wm) {
 				if cs.Extent.End > aq.until {
@@ -444,16 +533,24 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 			}
 			if ss.Open() == 0 {
 				delete(aq.sessions, key)
+			} else {
+				kept = append(kept, key)
 			}
 		}
+		aq.sessKeys = kept
 	}
 
 	// Purge queries whose deletion time has passed; their last windows
 	// have fired above.
+	purged := false
 	for id, aq := range a.active {
 		if aq.until <= wm {
 			delete(a.active, id)
+			purged = true
 		}
+	}
+	if purged {
+		a.activeOrdered = filterOrdered(a.activeOrdered, func(aq *aggQuery) bool { return aq.until <= wm })
 	}
 	selPurged := false
 	for id, sq := range a.selection {
@@ -463,17 +560,19 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 		}
 	}
 	if selPurged {
-		a.rebuildSelOrdered()
+		a.selOrdered = filterOrdered(a.selOrdered, func(sq *aggQuery) bool { return sq.until <= wm })
 	}
 
 	// Eviction and history compaction. Retention includes pending-deleted
-	// queries (purge already removed the expired ones).
-	specs := make([]window.Spec, 0, len(a.active))
-	for _, id := range sortedQueryIDs(a.active) {
-		if sp := a.active[id].spec(); sp.IsTimeBased() {
+	// queries (purge already removed the expired ones). Evicted slices
+	// return their partials to the freelist.
+	specs := a.specsTmp[:0]
+	for _, aq := range a.activeOrdered {
+		if sp := aq.spec(); sp.IsTimeBased() {
 			specs = append(specs, sp)
 		}
 	}
+	a.specsTmp = specs
 	retain := func(sl *slice) event.Time {
 		r := sl.ext.End
 		for _, sp := range specs {
@@ -486,6 +585,14 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 	a.sl.evict(wm, retain, func(sl *slice) {
 		if sl.ext.End > a.evictedThru {
 			a.evictedThru = sl.ext.End
+		}
+		if sl.aggs != nil {
+			for _, g := range sl.aggs.order {
+				for _, key := range g.keys {
+					a.putVal(g.byKey[key])
+				}
+			}
+			sl.aggs = nil
 		}
 	})
 	a.sl.pruneEpochs(wm - a.lateness)
@@ -504,47 +611,63 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 }
 
 // fireWindow combines slice partials for one window extent and emits one row
-// per (query, key).
+// per (query, key). After warm-up it allocates only for new distinct keys:
+// cap groups, accumulators, and partials are all reused.
 func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, curEpoch uint64) {
 	slices := a.sl.overlapping(ext)
 	if len(slices) == 0 {
 		return
 	}
 	// Group queries by changelog-set cap (running queries mask to the
-	// current epoch; pending-deleted ones to the epoch before deletion),
-	// then accumulate per query slot and key.
-	type aggCapGroup struct {
-		cap     uint64
-		queries []*aggQuery
-	}
-	byCap := map[uint64]*aggCapGroup{}
-	var capGroups []*aggCapGroup
-	for _, aq := range queries {
-		cap := curEpoch
-		if aq.endEpoch < cap {
-			cap = aq.endEpoch
+	// current epoch; pending-deleted ones to the epoch before deletion).
+	// Caps per trigger are few: linear scan into the reused capTmp.
+	groups := a.capTmp[:0]
+	for qi, aq := range queries {
+		capTo := curEpoch
+		if aq.endEpoch < capTo {
+			capTo = aq.endEpoch
 		}
-		g := byCap[cap]
+		var g *aggCapGroup
+		for _, cg := range groups {
+			if cg.cap == capTo {
+				g = cg
+				break
+			}
+		}
 		if g == nil {
-			g = &aggCapGroup{cap: cap}
-			byCap[cap] = g
-			capGroups = append(capGroups, g)
+			if len(groups) < cap(groups) {
+				groups = groups[:len(groups)+1]
+				if groups[len(groups)-1] == nil {
+					groups[len(groups)-1] = &aggCapGroup{}
+				}
+			} else {
+				groups = append(groups, &aggCapGroup{})
+			}
+			g = groups[len(groups)-1]
+			g.cap = capTo
+			g.idxs = g.idxs[:0]
 		}
-		g.queries = append(g.queries, aq)
+		g.idxs = append(g.idxs, qi)
+	}
+	a.capTmp = groups
+
+	// One accumulator per query, parallel to queries — which arrive in
+	// (slot, ID) order from activeOrdered, so emission below is ordered
+	// without sorting.
+	for len(a.accums) < len(queries) {
+		a.accums = append(a.accums, &slotAccum{byKey: make(map[int64]*aggVal)})
+	}
+	accums := a.accums[:len(queries)]
+	for i, aq := range queries {
+		accums[i].aq = aq
 	}
 
-	accum := make(map[int]map[int64]*aggVal, len(queries))
-	slotQ := make(map[int]*aggQuery, len(queries))
-	for _, aq := range queries {
-		accum[aq.slot] = make(map[int64]*aggVal)
-		slotQ[aq.slot] = aq
-	}
 	tick := a.metrics.start()
 	for _, sl := range slices {
 		if sl.aggs == nil {
 			continue
 		}
-		for _, cg := range capGroups {
+		for _, cg := range groups {
 			if cg.cap < a.table.Base() {
 				continue
 			}
@@ -555,46 +678,36 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 			if relNow.IsEmpty() {
 				continue
 			}
-			for _, g := range sl.aggs {
-				eff := g.qs.And(relNow)
-				if eff.IsEmpty() {
+			for _, g := range sl.aggs.order {
+				g.qs.AndInto(relNow, &a.effTmp)
+				if a.effTmp.IsEmpty() {
 					continue
 				}
-				for _, aq := range cg.queries {
-					if !eff.Test(aq.slot) {
+				for _, qi := range cg.idxs {
+					aq := queries[qi]
+					if !a.effTmp.Test(aq.slot) {
 						continue
 					}
-					byKey := accum[aq.slot]
-					for key, v := range g.byKey {
-						acc := byKey[key]
+					sa := accums[qi]
+					for _, key := range g.keys {
+						acc := sa.byKey[key]
 						if acc == nil {
-							acc = newAggVal()
-							byKey[key] = acc
+							acc = a.getVal()
+							sa.byKey[key] = acc
+							sa.keys = insertSortedInt64(sa.keys, key)
 						}
-						acc.merge(v)
+						acc.merge(g.byKey[key])
 					}
 				}
 			}
 		}
 	}
 	a.metrics.BitsetOps.observe(tick, a.metrics)
-	// Emit in (slot, key) order: per-sink result streams must not depend
-	// on map iteration order.
-	slots := make([]int, 0, len(accum))
-	for slot := range accum {
-		slots = append(slots, slot)
-	}
-	sort.Ints(slots)
-	for _, slot := range slots {
-		byKey := accum[slot]
-		aq := slotQ[slot]
-		keys := make([]int64, 0, len(byKey))
-		for key := range byKey {
-			keys = append(keys, key)
-		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
-		for _, key := range keys {
-			v := byKey[key]
+	// Emit in (slot, key) order, then release the accumulators.
+	for _, sa := range accums {
+		aq := sa.aq
+		for _, key := range sa.keys {
+			v := sa.byKey[key]
 			atomic.AddUint64(&a.metrics.AggOut, 1)
 			a.router.Deliver(Result{
 				QueryID:     aq.q.ID,
@@ -605,7 +718,11 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 				EventTime:   ext.End,
 				IngestNanos: v.IngestNanos,
 			})
+			a.putVal(v)
+			delete(sa.byKey, key)
 		}
+		sa.keys = sa.keys[:0]
+		sa.aq = nil
 	}
 }
 

@@ -38,6 +38,10 @@ type Config struct {
 	WatermarkEvery event.Time
 	// ChannelCap bounds exchange channels (backpressure).
 	ChannelCap int
+	// ExchangeBatch is the per-edge exchange batch size (tuples per channel
+	// operation); 1 disables batching, 0 picks the SPE default. Watermark
+	// cadence (WatermarkEvery) bounds how long a tuple can sit batched.
+	ExchangeBatch int
 	// GroupedThreshold is the active-query count above which the shared
 	// session sends the §3.2.3 marker switching join slice stores from
 	// query-set grouping to flat lists (the paper's heuristic: beyond ~10
@@ -72,8 +76,19 @@ func (c *Config) setDefaults() {
 	if c.WatermarkEvery <= 0 {
 		c.WatermarkEvery = 10
 	}
+	if c.ExchangeBatch <= 0 {
+		c.ExchangeBatch = spe.DefaultExchangeBatch
+	}
 	if c.ChannelCap <= 0 {
-		c.ChannelCap = spe.DefaultChannelCap
+		// A channel slot carries a whole batch, so keep the default
+		// in-flight buffering measured in *tuples* (cap × batch) close to
+		// the unbatched configuration — otherwise batching multiplies
+		// queued work by the batch size and event-time latency under
+		// closed-loop saturation balloons with it.
+		c.ChannelCap = spe.DefaultChannelCap / c.ExchangeBatch
+		if c.ChannelCap < 16 {
+			c.ChannelCap = 16
+		}
 	}
 	if c.GroupedThreshold <= 0 {
 		c.GroupedThreshold = 10
@@ -153,6 +168,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 
 	topo := spe.NewTopology()
 	topo.SetChannelCap(cfg.ChannelCap)
+	topo.SetExchangeBatch(cfg.ExchangeBatch)
 	eng.topo = topo
 
 	S, P := cfg.Streams, cfg.Parallelism
@@ -379,11 +395,22 @@ func (e *Engine) Ingest(stream int, t event.Tuple) error {
 // order, so no tuple or watermark at or past a changelog's time precedes it.
 func (ing *streamIngress) drainPending(upTo event.Time) {
 	ing.mu.Lock()
+	n := 0
+	for n < len(ing.pending) && ing.pending[n].at <= upTo {
+		n++
+	}
 	var release []pendingCL
-	for len(ing.pending) > 0 && ing.pending[0].at <= upTo {
-		release = append(release, ing.pending[0])
-		ing.pending = ing.pending[1:]
-		atomic.AddInt32(&ing.pendingCount, -1)
+	if n > 0 {
+		release = append(release, ing.pending[:n]...)
+		// Compact in place: re-slicing the front (pending = pending[n:])
+		// would pin the backing array — and every drained message — for as
+		// long as any entry stays queued.
+		rest := copy(ing.pending, ing.pending[n:])
+		for i := rest; i < len(ing.pending); i++ {
+			ing.pending[i] = pendingCL{}
+		}
+		ing.pending = ing.pending[:rest]
+		atomic.AddInt32(&ing.pendingCount, int32(-n))
 	}
 	ing.mu.Unlock()
 	for _, p := range release {

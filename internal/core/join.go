@@ -49,14 +49,29 @@ type SharedJoin struct {
 	sides     [2]*slicer
 	table     *changelog.Table
 	active    map[int]*joinQuery // by query ID
-	router    *Router
-	metrics   *OpMetrics
-	lateness  event.Time
-	lastWM    event.Time
+	// activeOrdered mirrors active sorted by (slot, query ID): the
+	// watermark-path iteration order is maintained incrementally on
+	// changelog/purge instead of sorted per emission (replay determinism
+	// without hot-path sorts).
+	activeOrdered []*joinQuery
+	router        *Router
+	metrics       *OpMetrics
+	lateness      event.Time
+	lastWM        event.Time
 
 	pairCache    map[uint64][]event.JoinedTuple
 	pairsBySlice map[uint64][]uint64 // slice id -> pair keys to drop on evict
 	evictedThru  [2]event.Time
+
+	// Steady-state scratch (owned by the instance goroutine, §3.2.2's
+	// no-allocation discipline): the slice ⋈ slice kernel index, the
+	// per-trigger grouping, and the query-set intersection temporaries.
+	scratch  joinScratch
+	trigTmp  []*joinTrigger
+	capTmp   []*capGroup
+	effTmp   bitset.Bits
+	pmTmp    bitset.Bits
+	specsTmp []window.Spec
 }
 
 // NewSharedJoin constructs the logic for one join-stage instance.
@@ -92,6 +107,35 @@ func queryAtStage(q *Query, stage int) (participates, terminal bool) {
 	return true, stage == lastStage && q.Kind == KindJoin
 }
 
+// insertOrdered adds aq to the slot-ordered active list (binary insert; the
+// changelog path is cold).
+func (j *SharedJoin) insertOrdered(aq *joinQuery) {
+	i := sort.Search(len(j.activeOrdered), func(i int) bool {
+		o := j.activeOrdered[i]
+		if o.slot != aq.slot {
+			return o.slot > aq.slot
+		}
+		return o.q.ID > aq.q.ID
+	})
+	j.activeOrdered = append(j.activeOrdered, nil)
+	copy(j.activeOrdered[i+1:], j.activeOrdered[i:])
+	j.activeOrdered[i] = aq
+}
+
+// removeOrdered drops purged queries from the ordered list in place.
+func (j *SharedJoin) removeOrdered(gone func(*joinQuery) bool) {
+	kept := j.activeOrdered[:0]
+	for _, aq := range j.activeOrdered {
+		if !gone(aq) {
+			kept = append(kept, aq)
+		}
+	}
+	for i := len(kept); i < len(j.activeOrdered); i++ {
+		j.activeOrdered[i] = nil
+	}
+	j.activeOrdered = kept
+}
+
 // OnChangelog updates the active query set, registers the new epoch with
 // both side slicers, and extends the changelog-set table (Equation 1).
 func (j *SharedJoin) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
@@ -108,10 +152,12 @@ func (j *SharedJoin) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
 			continue
 		}
 		if part, term := queryAtStage(q, j.stage); part {
-			j.active[c.Query] = &joinQuery{
+			aq := &joinQuery{
 				q: q, slot: c.Slot, terminal: term,
 				since: at, until: event.MaxTime, endEpoch: ^uint64(0),
 			}
+			j.active[c.Query] = aq
+			j.insertOrdered(aq)
 		}
 	}
 	specs := j.activeSpecs()
@@ -142,23 +188,13 @@ func (j *SharedJoin) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
 	}
 }
 
-// sortedJoinIDs returns the active query IDs in ascending order, so spec
-// lists are built deterministically across runs.
-func (j *SharedJoin) sortedJoinIDs() []int {
-	ids := make([]int, 0, len(j.active))
-	for id := range j.active {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	return ids
-}
-
 // activeSpecs returns the window specs that shape slicing going forward:
-// only queries that are still running contribute boundaries.
+// only queries that are still running contribute boundaries. The result is
+// stored by the slicers' epoch history, so it must be a fresh slice.
 func (j *SharedJoin) activeSpecs() []window.Spec {
-	specs := make([]window.Spec, 0, len(j.active))
-	for _, id := range j.sortedJoinIDs() {
-		if aq := j.active[id]; aq.until == event.MaxTime {
+	specs := make([]window.Spec, 0, len(j.activeOrdered))
+	for _, aq := range j.activeOrdered {
+		if aq.until == event.MaxTime {
 			specs = append(specs, aq.q.Window)
 		}
 	}
@@ -168,10 +204,11 @@ func (j *SharedJoin) activeSpecs() []window.Spec {
 // retentionSpecs additionally includes pending-deleted queries, whose final
 // windows may still need old slices.
 func (j *SharedJoin) retentionSpecs() []window.Spec {
-	specs := make([]window.Spec, 0, len(j.active))
-	for _, id := range j.sortedJoinIDs() {
-		specs = append(specs, j.active[id].q.Window)
+	specs := j.specsTmp[:0]
+	for _, aq := range j.activeOrdered {
+		specs = append(specs, aq.q.Window)
 	}
+	j.specsTmp = specs
 	return specs
 }
 
@@ -187,6 +224,33 @@ func (j *SharedJoin) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 		sl.store = newSliceStore(j.storeMode)
 	}
 	sl.store.Add(t)
+}
+
+// joinTrigger collects the queries fired by one window extent.
+type joinTrigger struct {
+	ext     window.Extent
+	queries []*joinQuery
+}
+
+// triggerFor returns the trigger for ext, creating it in (End, Start) order.
+// The trigger list is kept sorted by binary insertion instead of sorted per
+// watermark.
+func (j *SharedJoin) triggerFor(ext window.Extent) *joinTrigger {
+	i := sort.Search(len(j.trigTmp), func(i int) bool {
+		t := j.trigTmp[i]
+		if t.ext.End != ext.End {
+			return t.ext.End > ext.End
+		}
+		return t.ext.Start > ext.Start
+	})
+	if i < len(j.trigTmp) && j.trigTmp[i].ext == ext {
+		return j.trigTmp[i]
+	}
+	tr := &joinTrigger{ext: ext}
+	j.trigTmp = append(j.trigTmp, nil)
+	copy(j.trigTmp[i+1:], j.trigTmp[i:])
+	j.trigTmp[i] = tr
+	return tr
 }
 
 // OnWatermark triggers every query window ending in (lastWM, wm], joining
@@ -216,14 +280,10 @@ func (j *SharedJoin) OnWatermark(wm event.Time, out *spe.Emitter) {
 	}
 
 	// Group triggered queries by window extent so each extent is processed
-	// once even when many queries share it.
-	type trigger struct {
-		ext     window.Extent
-		queries []*joinQuery
-	}
-	var triggers []*trigger
-	byExt := map[window.Extent]*trigger{}
-	for _, aq := range j.active {
+	// once even when many queries share it. activeOrdered keeps the
+	// per-trigger query lists deterministic.
+	j.trigTmp = j.trigTmp[:0]
+	for _, aq := range j.activeOrdered {
 		qlo := lo
 		if aq.since > qlo {
 			qlo = aq.since // pre-activation windows are empty for aq
@@ -232,27 +292,26 @@ func (j *SharedJoin) OnWatermark(wm event.Time, out *spe.Emitter) {
 			if ext.End > aq.until {
 				continue // window closes after the query's deletion
 			}
-			tr := byExt[ext]
-			if tr == nil {
-				tr = &trigger{ext: ext}
-				byExt[ext] = tr
-				triggers = append(triggers, tr)
-			}
+			tr := j.triggerFor(ext)
 			tr.queries = append(tr.queries, aq)
 		}
 	}
-	sort.Slice(triggers, func(a, b int) bool { return triggers[a].ext.End < triggers[b].ext.End })
 
 	cur := j.table.Latest()
-	for _, tr := range triggers {
+	for _, tr := range j.trigTmp {
 		j.fireWindow(tr.ext, tr.queries, cur, out)
 	}
 	// Purge queries whose deletion time the watermark has passed: every
 	// window they could still fire has fired.
+	purged := false
 	for id, aq := range j.active {
 		if aq.until <= wm {
 			delete(j.active, id)
+			purged = true
 		}
+	}
+	if purged {
+		j.removeOrdered(func(aq *joinQuery) bool { return aq.until <= wm })
 	}
 
 	// Evict slices whose last covering window of any active query has
@@ -306,19 +365,38 @@ type capGroup struct {
 	anyPass   bool
 }
 
-func groupByCap(queries []*joinQuery, curEpoch uint64) []*capGroup {
-	byCap := map[uint64]*capGroup{}
-	var groups []*capGroup
+// groupByCap buckets the trigger's queries by cap into the reused capTmp
+// slice (caps per trigger are few: a linear scan beats a map and allocates
+// nothing in steady state).
+func (j *SharedJoin) groupByCap(queries []*joinQuery, curEpoch uint64) []*capGroup {
+	groups := j.capTmp[:0]
 	for _, aq := range queries {
-		cap := curEpoch
-		if aq.endEpoch < cap {
-			cap = aq.endEpoch
+		capTo := curEpoch
+		if aq.endEpoch < capTo {
+			capTo = aq.endEpoch
 		}
-		g := byCap[cap]
+		var g *capGroup
+		for _, cg := range groups {
+			if cg.cap == capTo {
+				g = cg
+				break
+			}
+		}
 		if g == nil {
-			g = &capGroup{cap: cap}
-			byCap[cap] = g
-			groups = append(groups, g)
+			if len(groups) < cap(groups) {
+				// Reuse a retired capGroup (and its slices) if one exists.
+				groups = groups[:len(groups)+1]
+				if groups[len(groups)-1] == nil {
+					groups[len(groups)-1] = &capGroup{}
+				}
+			} else {
+				groups = append(groups, &capGroup{})
+			}
+			g = groups[len(groups)-1]
+			g.cap = capTo
+			g.terminals = g.terminals[:0]
+			g.passBits.Reset()
+			g.anyPass = false
 		}
 		if aq.terminal {
 			g.terminals = append(g.terminals, aq)
@@ -327,6 +405,7 @@ func groupByCap(queries []*joinQuery, curEpoch uint64) []*capGroup {
 			g.anyPass = true
 		}
 	}
+	j.capTmp = groups
 	return groups
 }
 
@@ -338,7 +417,7 @@ func (j *SharedJoin) fireWindow(ext window.Extent, queries []*joinQuery, curEpoc
 	if len(left) == 0 || len(right) == 0 {
 		return
 	}
-	groups := groupByCap(queries, curEpoch)
+	groups := j.groupByCap(queries, curEpoch)
 
 	for _, sa := range left {
 		if sa.store == nil || sa.store.Len() == 0 {
@@ -372,12 +451,14 @@ func (j *SharedJoin) fireWindow(ext window.Extent, queries []*joinQuery, curEpoc
 				}
 				for i := range results {
 					jt := &results[i]
-					eff := jt.QuerySet.And(relNow)
-					if eff.IsEmpty() {
+					// eff = jt.QuerySet ∩ relNow in scratch: nothing
+					// allocated per result.
+					jt.QuerySet.AndInto(relNow, &j.effTmp)
+					if j.effTmp.IsEmpty() {
 						continue
 					}
 					for _, aq := range g.terminals {
-						if eff.Test(aq.slot) {
+						if j.effTmp.Test(aq.slot) {
 							atomic.AddUint64(&j.metrics.JoinedOut, 1)
 							j.router.Deliver(Result{
 								QueryID:     aq.q.ID,
@@ -390,10 +471,10 @@ func (j *SharedJoin) fireWindow(ext window.Extent, queries []*joinQuery, curEpoc
 						}
 					}
 					if g.anyPass {
-						pm := eff.And(g.passBits)
-						if !pm.IsEmpty() {
+						j.effTmp.AndInto(g.passBits, &j.pmTmp)
+						if !j.pmTmp.IsEmpty() {
 							t := jt.AsTuple()
-							t.QuerySet = pm
+							t.QuerySet = j.pmTmp.Clone()
 							// Re-timestamp to the window's max timestamp
 							// (as Flink does for window joins) so the
 							// result is never late for the downstream
@@ -424,9 +505,7 @@ func (j *SharedJoin) pairResults(sa, sb *slice) []event.JoinedTuple {
 	}
 	var results []event.JoinedTuple
 	if !rel.IsEmpty() {
-		joinStores(sa.store, sb.store, rel, func(jt event.JoinedTuple) {
-			results = append(results, jt)
-		})
+		j.scratch.join(sa.store, sb.store, rel, &results)
 	}
 	atomic.AddUint64(&j.metrics.PairsDone, 1)
 	j.pairCache[pk] = results

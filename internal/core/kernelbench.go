@@ -1,0 +1,167 @@
+package core
+
+import (
+	"fmt"
+
+	"astream/internal/bitset"
+	"astream/internal/changelog"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/spe"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// KernelBench is one hot-path kernel exposed for benchmarking (and for the
+// steady-state allocation guards): New builds the kernel's state once and
+// returns a run function executing the kernel iters times against it.
+// cmd/astream-bench and the *_test.go files drive these; keeping the
+// workloads here lets both share one definition of "the hot path".
+type KernelBench struct {
+	Name string
+	New  func() func(iters int)
+}
+
+// benchTuple builds the i-th deterministic workload tuple.
+func benchTuple(i int, qs bitset.Bits, at event.Time) event.Tuple {
+	t := event.Tuple{
+		Key:      int64(i % 32),
+		Time:     at,
+		QuerySet: qs,
+	}
+	for f := range t.Fields {
+		t.Fields[f] = int64((i*7 + f*13) % 1000)
+	}
+	return t
+}
+
+// benchStore fills a grouped slice store with n tuples spread over
+// query-set groups drawn from slotCount slots.
+func benchStore(n, slotCount int) *sliceStore {
+	s := newSliceStore(StoreGrouped)
+	for i := 0; i < n; i++ {
+		var qs bitset.Bits
+		qs.Set(i % slotCount)
+		qs.Set((i * 3) % slotCount)
+		s.Add(benchTuple(i, qs, event.Time(i%100)))
+	}
+	return s
+}
+
+// KernelBenchmarks enumerates the shared-operator kernels measured by the
+// perf harness. Steady state of every run function is allocation-free
+// (guarded by TestKernelAllocs).
+func KernelBenchmarks() []KernelBench {
+	return []KernelBench{
+		{
+			Name: "join-kernel-512x512-64q",
+			New: func() func(int) {
+				a := benchStore(512, 64)
+				b := benchStore(512, 64)
+				mask := bitset.AllUpTo(64)
+				var js joinScratch
+				var out []event.JoinedTuple
+				// Warm the scratch index and the output capacity once.
+				js.join(a, b, mask, &out)
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						out = out[:0]
+						js.join(a, b, mask, &out)
+					}
+				}
+			},
+		},
+		{
+			Name: "selection-ontuple-64q",
+			New: func() func(int) {
+				sel := NewSharedSelection(0, 0, NewOpMetrics(nil))
+				entries := make([]selEntry, 64)
+				for s := range entries {
+					entries[s] = selEntry{
+						slot: s,
+						pred: expr.True().And(expr.Comparison{Field: 0, Op: expr.LT, Value: 900}),
+					}
+				}
+				sel.versions = []selVersion{{from: event.MinTime, entries: entries}}
+				em := &spe.Emitter{}
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
+					}
+				}
+			},
+		},
+		{
+			Name: "agg-ontuple-64q",
+			New: func() func(int) {
+				agg := benchAgg(64)
+				var qs bitset.Bits
+				em := &spe.Emitter{}
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						qs.Reset()
+						qs.Set(i % 64)
+						qs.Set((i * 5) % 64)
+						agg.OnTuple(0, benchTuple(i, qs, 50), em)
+					}
+				}
+			},
+		},
+		{
+			Name: "bitset-and-into-128bit",
+			New: func() func(int) {
+				a := bitset.FromIndexes(1, 3, 64, 90, 120)
+				b := bitset.FromIndexes(3, 64, 119, 120)
+				var dst bitset.Bits
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						a.AndInto(b, &dst)
+					}
+				}
+			},
+		},
+		{
+			Name: "router-deliver",
+			New: func() func(int) {
+				r := NewRouter(NewOpMetrics(nil))
+				var n uint64
+				r.Register(7, SinkFunc(func(Result) { n++ }))
+				res := Result{QueryID: 7, Kind: KindSelection}
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						r.Deliver(res)
+					}
+				}
+			},
+		},
+	}
+}
+
+// benchAgg builds a SharedAggregation with slots tumbling-window SUM queries
+// registered through a real changelog, ready for steady-state OnTuple calls.
+func benchAgg(slots int) *SharedAggregation {
+	router := NewRouter(NewOpMetrics(nil))
+	agg := NewSharedAggregation(1, 0, router, NewOpMetrics(nil))
+	reg := changelog.NewRegistry(changelog.SlotReuse)
+	defs := map[int]*Query{}
+	ids := make([]int, slots)
+	for s := 0; s < slots; s++ {
+		q := &Query{
+			ID:         s + 1,
+			Kind:       KindAggregation,
+			Arity:      1,
+			Predicates: []expr.Predicate{expr.True()},
+			Window:     window.TumblingSpec(100),
+			Agg:        sqlstream.AggSum,
+			AggField:   0,
+		}
+		defs[q.ID] = q
+		ids[s] = q.ID
+	}
+	cl, err := reg.Apply(0, ids, nil)
+	if err != nil {
+		panic(fmt.Sprintf("core: benchAgg changelog: %v", err))
+	}
+	agg.OnChangelog(&ChangelogMsg{CL: cl, Defs: defs}, 0, nil)
+	return agg
+}

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestKernelAllocs pins steady-state tuple processing in the shared
+// operators to zero allocations per operation: the ISSUE-2 contract that the
+// allocator never bounds the shared data path. AllocsPerRun averages over
+// enough runs that amortized one-time growth (map resizes, slice doubling
+// during warm-up) rounds to zero; a per-tuple allocation reads ≥ 1 and fails.
+func TestKernelAllocs(t *testing.T) {
+	for _, kb := range KernelBenchmarks() {
+		kb := kb
+		t.Run(kb.Name, func(t *testing.T) {
+			run := kb.New()
+			run(2048) // warm-up: populate scratch, pools, map capacity
+			if avg := testing.AllocsPerRun(2000, func() { run(1) }); avg > 0 {
+				t.Errorf("%s: %.2f allocs/op in steady state, want 0", kb.Name, avg)
+			}
+		})
+	}
+}
+
+// BenchmarkKernels measures every hot-path kernel; cmd/astream-bench runs
+// the same workloads to emit BENCH_kernels.json.
+func BenchmarkKernels(b *testing.B) {
+	for _, kb := range KernelBenchmarks() {
+		kb := kb
+		b.Run(kb.Name, func(b *testing.B) {
+			run := kb.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			run(b.N)
+		})
+	}
+}

@@ -88,39 +88,67 @@ func (c *CountingSink) MeanLatencyNanos() uint64 {
 // Router delivers result rows to per-query output channels (paper §3.1.6).
 // This is the one place AStream copies data: a result matching k queries is
 // materialized k times, once per query channel (§3.2.2).
+//
+// Registration is rare (once per query lifecycle) while delivery runs per
+// result on every operator goroutine, so the sink table is copy-on-write: an
+// immutable map behind an atomic pointer. Deliver does one atomic load and
+// an uncontended map read; writers copy the map under a mutex that only
+// serializes other writers.
 type Router struct {
-	mu      sync.RWMutex
-	sinks   map[int]Sink
+	sinks   atomic.Pointer[map[int]Sink]
+	wmu     sync.Mutex // serializes Register/Unregister copies
 	metrics *OpMetrics
 }
 
 // NewRouter creates an empty router.
 func NewRouter(m *OpMetrics) *Router {
-	return &Router{sinks: make(map[int]Sink), metrics: m}
+	r := &Router{metrics: m}
+	r.publish(make(map[int]Sink))
+	return r
+}
+
+// publish installs a sink table. The map must not be mutated after this
+// call: readers access it lock-free.
+func (r *Router) publish(m map[int]Sink) {
+	r.sinks.Store(&m)
 }
 
 // Register attaches the sink for a query. Registration happens before the
 // query's changelog is released, so no result can race ahead of it.
 func (r *Router) Register(queryID int, s Sink) {
-	r.mu.Lock()
-	r.sinks[queryID] = s
-	r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	cur := *r.sinks.Load()
+	next := make(map[int]Sink, len(cur)+1)
+	for id, sk := range cur {
+		next[id] = sk
+	}
+	next[queryID] = s
+	r.publish(next)
 }
 
 // Unregister detaches a stopped query's sink.
 func (r *Router) Unregister(queryID int) {
-	r.mu.Lock()
-	delete(r.sinks, queryID)
-	r.mu.Unlock()
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	cur := *r.sinks.Load()
+	if _, ok := cur[queryID]; !ok {
+		return
+	}
+	next := make(map[int]Sink, len(cur))
+	for id, sk := range cur {
+		if id != queryID {
+			next[id] = sk
+		}
+	}
+	r.publish(next)
 }
 
 // Deliver routes one result row to its query's sink. The per-query copy has
-// already happened by value in r.
+// already happened by value in res; no lock is taken on this path.
 func (r *Router) Deliver(res Result) {
 	tick := r.metrics.start()
-	r.mu.RLock()
-	s := r.sinks[res.QueryID]
-	r.mu.RUnlock()
+	s := (*r.sinks.Load())[res.QueryID]
 	if s != nil {
 		s.OnResult(res)
 	}
@@ -129,16 +157,12 @@ func (r *Router) Deliver(res Result) {
 
 // Each visits every registered (query, sink) pair.
 func (r *Router) Each(fn func(queryID int, s Sink)) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	for id, s := range r.sinks {
+	for id, s := range *r.sinks.Load() {
 		fn(id, s)
 	}
 }
 
 // SinkFor returns the sink registered for a query (tests).
 func (r *Router) SinkFor(queryID int) Sink {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return r.sinks[queryID]
+	return (*r.sinks.Load())[queryID]
 }

@@ -63,6 +63,11 @@ type SharedSelection struct {
 	metrics  *OpMetrics
 	lateness event.Time
 	wm       event.Time
+	// qsTmp is the per-tuple query-set scratch: predicates set bits here
+	// and the emitted tuple gets a right-sized Clone, so wide query sets
+	// (>64 slots) cost one allocation per emitted tuple instead of one per
+	// spill growth, and narrow sets cost none.
+	qsTmp bitset.Bits
 }
 
 // NewSharedSelection constructs the logic for one instance.
@@ -90,19 +95,19 @@ func (s *SharedSelection) tableAt(t event.Time) *selVersion {
 func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
 	tick := s.metrics.start()
 	v := s.tableAt(t.Time)
-	var qs bitset.Bits
+	s.qsTmp.Reset()
 	for i := range v.entries {
 		e := &v.entries[i]
 		if e.pred.Eval(&t) {
-			qs.Set(e.slot)
+			s.qsTmp.Set(e.slot)
 		}
 	}
 	s.metrics.QuerySetGen.observe(tick, s.metrics)
-	if qs.IsEmpty() {
+	if s.qsTmp.IsEmpty() {
 		atomic.AddUint64(&s.metrics.Dropped, 1)
 		return
 	}
-	t.QuerySet = qs
+	t.QuerySet = s.qsTmp.Clone()
 	t.Stream = uint8(s.stream)
 	atomic.AddUint64(&s.metrics.Selected, 1)
 	out.EmitTuple(t)

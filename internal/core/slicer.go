@@ -36,7 +36,7 @@ type slice struct {
 	epoch uint64 // changelog epoch in effect throughout the slice
 	// Payloads: a join side uses store; the aggregation uses aggs.
 	store *sliceStore
-	aggs  map[string]*aggGroup // by query-set key
+	aggs  *qsIndex[aggGroup] // by canonical query-set key
 }
 
 func newSlicer() *slicer {

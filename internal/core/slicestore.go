@@ -42,6 +42,55 @@ const adaptiveSwitchThreshold = 2.0
 // minTuplesForSwitch avoids flapping on nearly-empty slices.
 const minTuplesForSwitch = 16
 
+// qsIndex maps canonical query-set keys to group payloads. Lookups on the
+// hot path are allocation-free: single-word query-sets (≤64 slots) index a
+// uint64 map directly; wider sets encode into a reused scratch buffer and
+// use the compiler's m[string(buf)] no-alloc map access. The group list is
+// kept in canonical key order incrementally (binary insert on the rare
+// group-creation path) so every iteration over groups — join kernels, store
+// flattening, window firing — is deterministic without per-emission sorts.
+type qsIndex[G any] struct {
+	byWord map[uint64]*G
+	byStr  map[string]*G
+	order  []*G
+	keys   []bitset.Key // parallel to order, ascending by Key.Less
+	keyBuf []byte
+}
+
+func newQSIndex[G any]() *qsIndex[G] {
+	return &qsIndex[G]{byWord: make(map[uint64]*G), byStr: make(map[string]*G)}
+}
+
+func (x *qsIndex[G]) len() int { return len(x.order) }
+
+// get returns the group for qs, or nil. Allocation-free.
+func (x *qsIndex[G]) get(qs bitset.Bits) *G {
+	if w, ok := qs.KeyWord(); ok {
+		return x.byWord[w]
+	}
+	x.keyBuf = qs.AppendKeyBytes(x.keyBuf[:0])
+	return x.byStr[string(x.keyBuf)]
+}
+
+// put inserts the group under qs's canonical key, keeping order sorted.
+// Called once per distinct query-set (cold path); allocates the string key
+// for wide sets here and only here.
+func (x *qsIndex[G]) put(qs bitset.Bits, g *G) {
+	k := qs.Key()
+	if k.S == "" {
+		x.byWord[k.W] = g
+	} else {
+		x.byStr[k.S] = g
+	}
+	i := sort.Search(len(x.keys), func(i int) bool { return k.Less(x.keys[i]) })
+	x.keys = append(x.keys, bitset.Key{})
+	copy(x.keys[i+1:], x.keys[i:])
+	x.keys[i] = k
+	x.order = append(x.order, nil)
+	copy(x.order[i+1:], x.order[i:])
+	x.order[i] = g
+}
+
 // tupleGroup is one query-set group inside a grouped slice store. Grouping
 // lets the join skip whole groups whose query-sets cannot intersect.
 type tupleGroup struct {
@@ -53,7 +102,7 @@ type tupleGroup struct {
 type sliceStore struct {
 	mode    StoreMode
 	grouped bool
-	groups  map[string]*tupleGroup // by qs.Key(); nil when list mode
+	groups  *qsIndex[tupleGroup] // nil when list mode
 	list    []event.Tuple
 	count   int
 }
@@ -65,27 +114,28 @@ func newSliceStore(mode StoreMode) *sliceStore {
 		s.grouped = false
 	default:
 		s.grouped = true
-		s.groups = make(map[string]*tupleGroup)
+		s.groups = newQSIndex[tupleGroup]()
 	}
 	return s
 }
 
 // Add inserts a tuple (saved once — no copies inside a slice, paper §3.2.2).
+// Steady state allocates nothing: group lookup is key-scratch based and the
+// per-group tuple append is amortized.
 func (s *sliceStore) Add(t event.Tuple) {
 	s.count++
 	if !s.grouped {
 		s.list = append(s.list, t)
 		return
 	}
-	k := t.QuerySet.Key()
-	g := s.groups[k]
+	g := s.groups.get(t.QuerySet)
 	if g == nil {
 		g = &tupleGroup{qs: t.QuerySet.Clone()}
-		s.groups[k] = g
+		s.groups.put(g.qs, g)
 	}
 	g.tuples = append(g.tuples, t)
 	if s.mode == StoreAdaptive && s.count >= minTuplesForSwitch &&
-		float64(s.count) < adaptiveSwitchThreshold*float64(len(s.groups)) {
+		float64(s.count) < adaptiveSwitchThreshold*float64(s.groups.len()) {
 		s.degenerate()
 	}
 }
@@ -97,7 +147,7 @@ func (s *sliceStore) regroup() {
 	if s.grouped {
 		return
 	}
-	s.groups = make(map[string]*tupleGroup)
+	s.groups = newQSIndex[tupleGroup]()
 	s.grouped = true
 	list := s.list
 	s.list = nil
@@ -120,28 +170,18 @@ func (s *sliceStore) setMode(m StoreMode) {
 
 // degenerate flattens a grouped store into list mode (the marker-triggered
 // data-structure change of §3.2.3 applies this to all slices at once).
+// Groups flatten in canonical key order — a pure function of the stored
+// content, so flattening is replay-deterministic.
 func (s *sliceStore) degenerate() {
 	if !s.grouped {
 		return
 	}
 	s.list = make([]event.Tuple, 0, s.count)
-	for _, k := range s.sortedGroupKeys() {
-		s.list = append(s.list, s.groups[k].tuples...)
+	for _, g := range s.groups.order {
+		s.list = append(s.list, g.tuples...)
 	}
 	s.groups = nil
 	s.grouped = false
-}
-
-// sortedGroupKeys returns the group keys in a fixed order: flattening must
-// not depend on map iteration order, or join result order diverges between
-// otherwise identical runs (replay determinism).
-func (s *sliceStore) sortedGroupKeys() []string {
-	keys := make([]string, 0, len(s.groups))
-	for k := range s.groups {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }
 
 // Len returns the number of stored tuples.
@@ -151,13 +191,18 @@ func (s *sliceStore) Len() int { return s.count }
 func (s *sliceStore) Grouped() bool { return s.grouped }
 
 // GroupCount returns the number of query-set groups (0 in list mode).
-func (s *sliceStore) GroupCount() int { return len(s.groups) }
+func (s *sliceStore) GroupCount() int {
+	if s.groups == nil {
+		return 0
+	}
+	return s.groups.len()
+}
 
-// ForEachGroup visits tuples group-wise. In list mode it visits one pseudo
-// group per tuple whose query-set is the tuple's own.
+// ForEachGroup visits tuples group-wise in canonical key order. In list mode
+// it visits one pseudo group per tuple whose query-set is the tuple's own.
 func (s *sliceStore) ForEachGroup(fn func(qs bitset.Bits, tuples []event.Tuple)) {
 	if s.grouped {
-		for _, g := range s.groups {
+		for _, g := range s.groups.order {
 			fn(g.qs, g.tuples)
 		}
 		return
@@ -173,77 +218,155 @@ func (s *sliceStore) All() []event.Tuple {
 		return s.list
 	}
 	out := make([]event.Tuple, 0, s.count)
-	for _, k := range s.sortedGroupKeys() {
-		out = append(out, s.groups[k].tuples...)
+	for _, g := range s.groups.order {
+		out = append(out, g.tuples...)
 	}
 	return out
 }
 
-// joinStores produces joined tuples for every key-equal pair whose
-// query-sets intersect under mask; results carry qsA ∩ qsB ∩ mask. This is
-// the slice ⋈ slice kernel: grouped×grouped skips non-intersecting group
-// pairs wholesale (paper §3.1.4), every other combination hashes one side.
-func joinStores(a, b *sliceStore, mask bitset.Bits, emit func(event.JoinedTuple)) {
+// joinEntry is one build-side tuple in the kernel's hash index. qs points at
+// the owning group's query-set (stable for the duration of the kernel) so no
+// bitset is copied during the build.
+type joinEntry struct {
+	t    *event.Tuple
+	qs   *bitset.Bits
+	next int32 // previous entry with the same key, -1 terminates
+}
+
+// joinScratch is the reusable state of the slice ⋈ slice kernel. One
+// instance lives on each SharedJoin; after warm-up the kernel allocates
+// nothing per pair: the hash index map is cleared (not rebuilt), the entry
+// arena is truncated (capacity retained), and the query-set intersection is
+// computed in a scratch bitset.
+type joinScratch struct {
+	heads   map[int64]int32
+	entries []joinEntry
+	qsTmp   bitset.Bits
+}
+
+// join produces joined tuples for every key-equal pair whose query-sets
+// intersect under mask, appending results (which carry qsA ∩ qsB ∩ mask) to
+// *out. This is the slice ⋈ slice kernel: the smaller side is hash-indexed,
+// group-level query-set tests prune non-intersecting groups wholesale
+// (paper §3.1.4). Iteration follows the stores' canonical group order, so
+// result order is a pure function of the stored content.
+func (js *joinScratch) join(a, b *sliceStore, mask bitset.Bits, out *[]event.JoinedTuple) {
 	if a.count == 0 || b.count == 0 || mask.IsEmpty() {
 		return
 	}
-	// Build a hash index over the smaller side, then probe group-wise so
-	// the group-level query-set test still prunes work.
 	build, probe := a, b
 	swapped := false
 	if b.count < a.count {
 		build, probe = b, a
 		swapped = true
 	}
-	type bucket struct {
-		qs     bitset.Bits
-		tuples []event.Tuple
+	if js.heads == nil {
+		js.heads = make(map[int64]int32, build.count)
+	} else {
+		for k := range js.heads {
+			delete(js.heads, k)
+		}
 	}
-	idx := make(map[int64][]bucket, build.count)
-	build.ForEachGroup(func(qs bitset.Bits, tuples []event.Tuple) {
-		if !qs.Intersects(mask) {
-			return
-		}
-		for i := range tuples {
-			k := tuples[i].Key
-			idx[k] = append(idx[k], bucket{qs: qs, tuples: tuples[i : i+1]})
-		}
-	})
-	probe.ForEachGroup(func(pqs bitset.Bits, ptuples []event.Tuple) {
-		if !pqs.Intersects(mask) {
-			return
-		}
-		for i := range ptuples {
-			pt := &ptuples[i]
-			for _, bk := range idx[pt.Key] {
-				if !bk.qs.Intersects(pqs) {
-					continue
-				}
-				for j := range bk.tuples {
-					bt := &bk.tuples[j]
-					qs := bk.qs.And(pqs)
-					qs.AndInPlace(mask)
-					if qs.IsEmpty() {
-						continue
-					}
-					jt := event.JoinedTuple{Key: pt.Key, QuerySet: qs}
-					left, right := bt, pt
-					if swapped {
-						left, right = pt, bt
-					}
-					jt.Left = left.Fields
-					jt.Right = right.Fields
-					jt.Time = left.Time
-					if right.Time > jt.Time {
-						jt.Time = right.Time
-					}
-					jt.IngestNanos = left.IngestNanos
-					if right.IngestNanos > jt.IngestNanos {
-						jt.IngestNanos = right.IngestNanos
-					}
-					emit(jt)
-				}
+	js.entries = js.entries[:0]
+
+	// Build: index every mask-relevant build-side tuple by key.
+	if build.grouped {
+		for _, g := range build.groups.order {
+			if !g.qs.Intersects(mask) {
+				continue
+			}
+			for i := range g.tuples {
+				js.addEntry(&g.tuples[i], &g.qs)
 			}
 		}
-	})
+	} else {
+		for i := range build.list {
+			t := &build.list[i]
+			if !t.QuerySet.Intersects(mask) {
+				continue
+			}
+			js.addEntry(t, &t.QuerySet)
+		}
+	}
+	if len(js.entries) == 0 {
+		return
+	}
+
+	// Probe group-wise so the group-level query-set test still prunes work.
+	if probe.grouped {
+		for _, g := range probe.groups.order {
+			if !g.qs.Intersects(mask) {
+				continue
+			}
+			for i := range g.tuples {
+				js.probeOne(&g.tuples[i], g.qs, mask, swapped, out)
+			}
+		}
+	} else {
+		for i := range probe.list {
+			pt := &probe.list[i]
+			if !pt.QuerySet.Intersects(mask) {
+				continue
+			}
+			js.probeOne(pt, pt.QuerySet, mask, swapped, out)
+		}
+	}
+}
+
+func (js *joinScratch) addEntry(t *event.Tuple, qs *bitset.Bits) {
+	e := joinEntry{t: t, qs: qs, next: -1}
+	if h, ok := js.heads[t.Key]; ok {
+		e.next = h
+	}
+	js.entries = append(js.entries, e)
+	js.heads[t.Key] = int32(len(js.entries) - 1)
+}
+
+// probeOne joins one probe-side tuple against the build index.
+func (js *joinScratch) probeOne(pt *event.Tuple, pqs bitset.Bits, mask bitset.Bits, swapped bool, out *[]event.JoinedTuple) {
+	h, ok := js.heads[pt.Key]
+	if !ok {
+		return
+	}
+	for idx := h; idx >= 0; {
+		e := &js.entries[idx]
+		idx = e.next
+		if !e.qs.Intersects(pqs) {
+			continue
+		}
+		js.qsTmp.CopyFrom(*e.qs)
+		js.qsTmp.AndInPlace(pqs)
+		js.qsTmp.AndInPlace(mask)
+		if js.qsTmp.IsEmpty() {
+			continue
+		}
+		jt := event.JoinedTuple{Key: pt.Key, QuerySet: js.qsTmp.Clone()}
+		left, right := e.t, pt
+		if swapped {
+			left, right = pt, e.t
+		}
+		jt.Left = left.Fields
+		jt.Right = right.Fields
+		jt.Time = left.Time
+		if right.Time > jt.Time {
+			jt.Time = right.Time
+		}
+		jt.IngestNanos = left.IngestNanos
+		if right.IngestNanos > jt.IngestNanos {
+			jt.IngestNanos = right.IngestNanos
+		}
+		*out = append(*out, jt)
+	}
+}
+
+// joinStores is the callback form of the kernel, used by tests and
+// benchmarks; the shared join itself calls joinScratch.join with a reused
+// scratch.
+func joinStores(a, b *sliceStore, mask bitset.Bits, emit func(event.JoinedTuple)) {
+	var js joinScratch
+	var out []event.JoinedTuple
+	js.join(a, b, mask, &out)
+	for i := range out {
+		emit(out[i])
+	}
 }

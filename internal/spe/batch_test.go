@@ -1,0 +1,265 @@
+package spe
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"astream/internal/bitset"
+	"astream/internal/event"
+)
+
+// orderLog records every callback as one string in arrival order, so tests
+// can assert the exact interleaving of tuples and control elements that the
+// exchange batching must preserve.
+type orderLog struct {
+	BaseLogic
+	mu  sync.Mutex
+	log []string
+}
+
+func (l *orderLog) add(s string) {
+	l.mu.Lock()
+	l.log = append(l.log, s)
+	l.mu.Unlock()
+}
+
+func (l *orderLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.log...)
+}
+
+func (l *orderLog) OnTuple(_ int, t event.Tuple, _ *Emitter) { l.add(fmt.Sprintf("t%d", t.Key)) }
+func (l *orderLog) OnWatermark(wm event.Time, _ *Emitter)    { l.add(fmt.Sprintf("wm%d", wm)) }
+func (l *orderLog) OnChangelog(_ any, at event.Time, _ *Emitter) {
+	l.add(fmt.Sprintf("cl%d", at))
+}
+func (l *orderLog) OnBarrier(id uint64, _ *Emitter) []byte {
+	l.add(fmt.Sprintf("b%d", id))
+	return nil
+}
+func (l *orderLog) OnEOS(*Emitter) { l.add("eos") }
+
+// TestBatchingPreservesEdgeOrder drives a single source→sink edge with a
+// small batch size and an emission sequence that interleaves full batches,
+// partial batches, watermarks, changelogs, and barriers. Because every
+// control element flushes pending batches first (Emitter.broadcast), the sink
+// must observe exactly the emission order — batching may group channel sends
+// but never reorder an edge.
+func TestBatchingPreservesEdgeOrder(t *testing.T) {
+	topo := NewTopology()
+	topo.SetExchangeBatch(8)
+	src := topo.AddSource("src", 1)
+	lg := &orderLog{}
+	topo.AddOperator("sink", 1, func(int) Logic { return lg }, KeyedInput(src))
+
+	job, err := Deploy(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := job.SourceContext(src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var want []string
+	key := int64(0)
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			sc.EmitTuple(event.Tuple{Key: key, Time: event.Time(key)})
+			want = append(want, fmt.Sprintf("t%d", key))
+			key++
+		}
+	}
+	emit(20) // two full flushes at 8, 4 left pending
+	sc.EmitWatermark(19)
+	want = append(want, "wm19")
+	emit(3) // partial batch pending
+	sc.EmitChangelog(&testChangelog{1}, 23)
+	want = append(want, "cl23")
+	emit(8) // exactly one full batch
+	sc.EmitBarrier(1)
+	want = append(want, "b1")
+	emit(5)
+	sc.EmitWatermark(35)
+	want = append(want, "wm35")
+	job.Stop()
+	want = append(want, "eos")
+
+	got := lg.snapshot()
+	if len(got) != len(want) {
+		t.Fatalf("log length %d, want %d\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("log[%d] = %q, want %q\ngot:  %v\nwant: %v", i, got[i], want[i], got, want)
+		}
+	}
+}
+
+// TestBatchingEOSFlushesPartialBatch checks that closing a source delivers a
+// batch that never reached the flush threshold: EOS is broadcast, and
+// broadcast flushes every pending edge vector first.
+func TestBatchingEOSFlushesPartialBatch(t *testing.T) {
+	topo := NewTopology()
+	topo.SetExchangeBatch(64)
+	src := topo.AddSource("src", 1)
+	lg := &orderLog{}
+	topo.AddOperator("sink", 1, func(int) Logic { return lg }, KeyedInput(src))
+	job, err := Deploy(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := job.SourceContext(src, 0)
+	for i := int64(0); i < 5; i++ {
+		sc.EmitTuple(event.Tuple{Key: i})
+	}
+	job.Stop()
+
+	got := lg.snapshot()
+	want := []string{"t0", "t1", "t2", "t3", "t4", "eos"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("log = %v, want %v", got, want)
+	}
+}
+
+// TestBatchingBarrierAlignmentBuffersBatches checks checkpoint alignment with
+// batched exchanges and two senders: pre-barrier tuples from both senders
+// arrive before the barrier fires, and post-barrier tuples from the
+// already-aligned sender (which arrive as whole batch messages and must be
+// buffered as such) replay only after alignment completes.
+func TestBatchingBarrierAlignmentBuffersBatches(t *testing.T) {
+	topo := NewTopology()
+	topo.SetExchangeBatch(8)
+	src := topo.AddSource("src", 2)
+	lg := &orderLog{}
+	topo.AddOperator("sink", 1, func(int) Logic { return lg }, GlobalInput(src))
+	job, err := Deploy(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc0, _ := job.SourceContext(src, 0)
+	sc1, _ := job.SourceContext(src, 1)
+
+	// Sender 0 finishes all its sends before sender 1 starts, so the inbox
+	// arrival order is deterministic.
+	for i := int64(0); i < 5; i++ {
+		sc0.EmitTuple(event.Tuple{Key: i})
+	}
+	sc0.EmitBarrier(1)
+	sc0.EmitTuple(event.Tuple{Key: 10})
+	sc0.EmitTuple(event.Tuple{Key: 11})
+	sc0.Close() // flushes the post-barrier partial batch, then EOS
+	for i := int64(5); i < 10; i++ {
+		sc1.EmitTuple(event.Tuple{Key: i})
+	}
+	sc1.EmitBarrier(1)
+	sc1.Close()
+	job.Wait()
+
+	got := lg.snapshot()
+	want := []string{
+		"t0", "t1", "t2", "t3", "t4", // sender 0, flushed by its barrier
+		"t5", "t6", "t7", "t8", "t9", // sender 1 flows during alignment
+		"b1",         // alignment completes
+		"t10", "t11", // sender 0's buffered post-barrier batch replays
+		"eos",
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("log = %v\nwant  %v", got, want)
+	}
+}
+
+// TestBatchingThroughOperatorChain runs batched exchanges across two hops
+// with a parallel middle operator: every tuple must survive, and the final
+// watermark — which trails all tuples on every edge — must reach the sink
+// after all of them.
+func TestBatchingThroughOperatorChain(t *testing.T) {
+	topo := NewTopology()
+	topo.SetExchangeBatch(8)
+	src := topo.AddSource("src", 1)
+	mid := topo.AddOperator("double", 2, NewMapLogic(func(tu *event.Tuple) bool {
+		tu.Fields[0] *= 2
+		return true
+	}), KeyedInput(src))
+	lg := &orderLog{}
+	topo.AddOperator("sink", 1, func(int) Logic { return lg }, KeyedInput(mid))
+
+	job, err := Deploy(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := job.SourceContext(src, 0)
+	const n = 100
+	for i := int64(0); i < n; i++ {
+		sc.EmitTuple(event.Tuple{Key: i, Time: event.Time(i)})
+	}
+	sc.EmitWatermark(n - 1)
+	job.Stop()
+
+	got := lg.snapshot()
+	tuples := 0
+	wmAt := -1
+	for i, s := range got {
+		if s == fmt.Sprintf("wm%d", n-1) {
+			wmAt = i
+		} else if s[0] == 't' {
+			tuples++
+			if wmAt >= 0 {
+				t.Fatalf("tuple %q after watermark (index %d > %d)", s, i, wmAt)
+			}
+		}
+	}
+	if tuples != n {
+		t.Fatalf("sink saw %d tuples, want %d", tuples, n)
+	}
+	if wmAt < 0 {
+		t.Fatalf("final watermark missing from log %v", got)
+	}
+}
+
+// TestBatchCodecRoundTrip pins the cross-node batch serialization: a batch of
+// tuples — including wide (spilled) query-sets and negative field values —
+// must round-trip through EncodeBatch/DecodeBatch exactly.
+func TestBatchCodecRoundTrip(t *testing.T) {
+	var c BinaryCodec
+	batch := make([]event.Tuple, 0, 9)
+	for i := 0; i < 9; i++ {
+		tu := event.Tuple{
+			Key:         int64(i - 4),
+			Time:        event.Time(i * 1000),
+			IngestNanos: int64(i * 7),
+			Stream:      uint8(i % 2),
+		}
+		for f := range tu.Fields {
+			tu.Fields[f] = int64(i*31 - f*17)
+		}
+		tu.QuerySet = bitset.FromIndexes(i, i*19) // i*19 crosses 64 for i ≥ 4
+		batch = append(batch, tu)
+	}
+	enc := c.EncodeBatch(batch)
+	dec, err := c.DecodeBatch(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(batch) {
+		t.Fatalf("decoded %d tuples, want %d", len(dec), len(batch))
+	}
+	for i := range batch {
+		a, b := batch[i], dec[i]
+		if a.Key != b.Key || a.Time != b.Time || a.IngestNanos != b.IngestNanos || a.Stream != b.Stream || a.Fields != b.Fields {
+			t.Fatalf("tuple %d mismatch: %+v vs %+v", i, a, b)
+		}
+		if !a.QuerySet.Equal(b.QuerySet) {
+			t.Fatalf("tuple %d query-set mismatch: %s vs %s", i, a.QuerySet, b.QuerySet)
+		}
+	}
+
+	if _, err := c.DecodeBatch(enc[:3]); err == nil {
+		t.Fatal("truncated batch header must error")
+	}
+	if _, err := c.DecodeBatch(enc[:len(enc)-2]); err == nil {
+		t.Fatal("truncated batch body must error")
+	}
+}

@@ -117,6 +117,84 @@ func (BinaryCodec) decode(b []byte, payload any) (event.Element, error) {
 	return e, nil
 }
 
+// BatchCodec is the optional batch extension of EdgeCodec: a whole exchange
+// batch is serialized in one pass, amortizing the envelope over the vector.
+// Implementations must round-trip tuples exactly.
+type BatchCodec interface {
+	EncodeBatch(ts []event.Tuple) []byte
+	DecodeBatch(b []byte) ([]event.Tuple, error)
+}
+
+// tupleFixedSize is the per-tuple fixed portion of the batch encoding.
+const tupleFixedSize = 8 + 8*event.NumFields + 8 + 8 + 1 + 4
+
+// EncodeBatch serializes a vector of tuples: header (version, count) then
+// each tuple in the same layout Encode uses.
+func (BinaryCodec) EncodeBatch(ts []event.Tuple) []byte {
+	buf := make([]byte, 0, 8+len(ts)*(tupleFixedSize+16))
+	buf = append(buf, codecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ts)))
+	for i := range ts {
+		t := &ts[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Key))
+		for _, f := range t.Fields {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(f))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.Time))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.IngestNanos))
+		buf = append(buf, t.Stream)
+		words := t.QuerySet.Words()
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(words)))
+		for _, w := range words {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return buf
+}
+
+// DecodeBatch deserializes a vector produced by EncodeBatch. The returned
+// slice comes from the exchange batch pool.
+func (BinaryCodec) DecodeBatch(b []byte) ([]event.Tuple, error) {
+	if len(b) < 5 {
+		return nil, fmt.Errorf("spe: short batch encoding (%d bytes)", len(b))
+	}
+	if b[0] != codecVersion {
+		return nil, fmt.Errorf("spe: unknown codec version %d", b[0])
+	}
+	r := reader{b: b[1:]}
+	n := r.u32()
+	if n > maxQSWords {
+		return nil, fmt.Errorf("spe: batch too large (%d tuples)", n)
+	}
+	out := getBatch(int(n))
+	for i := uint32(0); i < n; i++ {
+		var t event.Tuple
+		t.Key = int64(r.u64())
+		for fi := range t.Fields {
+			t.Fields[fi] = int64(r.u64())
+		}
+		t.Time = event.Time(r.u64())
+		t.IngestNanos = int64(r.u64())
+		t.Stream = r.u8()
+		nw := r.u32()
+		if nw > maxQSWords {
+			return nil, fmt.Errorf("spe: query-set too large (%d words)", nw)
+		}
+		if nw > 0 {
+			words := make([]uint64, nw)
+			for wi := range words {
+				words[wi] = r.u64()
+			}
+			t.QuerySet = bitset.FromWords(words)
+		}
+		if r.err != nil {
+			return nil, r.err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
 type reader struct {
 	b   []byte
 	err error

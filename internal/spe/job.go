@@ -92,7 +92,7 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 	}
 
 	emitterFor := func(u *Node, ui int) *Emitter {
-		em := &Emitter{codec: cfg.codec}
+		em := &Emitter{codec: cfg.codec, batchSize: t.exchangeBatch}
 		for _, d := range t.nodes {
 			for pi, in := range d.inputs {
 				if in.from != u {

@@ -2,6 +2,7 @@ package spe
 
 import (
 	"fmt"
+	"sync"
 
 	"astream/internal/event"
 )
@@ -18,12 +19,15 @@ type SnapshotSink interface {
 	OnSnapshot(op string, instance int, barrier uint64, state []byte)
 }
 
-// target is one downstream inbox reachable from an emitter.
+// target is one downstream inbox reachable from an emitter. buf is the
+// pending exchange batch for this edge; it is owned by the emitting
+// goroutine and flushed on size or on any control broadcast.
 type target struct {
 	ch        chan message
 	sender    int
 	port      int // which input port of the receiver this edge feeds
 	crossNode bool
+	buf       []event.Tuple
 }
 
 // consumer groups the targets for one downstream operator.
@@ -32,16 +36,62 @@ type consumer struct {
 	targets []target
 }
 
+// tupleBatchPool recycles exchange batch buffers between emitting and
+// receiving goroutines.
+var tupleBatchPool sync.Pool
+
+// getBatch returns an empty batch buffer, reusing a pooled one when
+// available.
+func getBatch(n int) []event.Tuple {
+	if v := tupleBatchPool.Get(); v != nil {
+		return (*v.(*[]event.Tuple))[:0]
+	}
+	return make([]event.Tuple, 0, n)
+}
+
+// putBatch returns a drained batch buffer to the pool.
+func putBatch(b []event.Tuple) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	tupleBatchPool.Put(&b)
+}
+
 // Emitter sends elements to all downstream consumers of an operator
 // instance. Tuples are partitioned per consumer mode; control elements are
 // broadcast. An Emitter is owned by its instance goroutine.
+//
+// With batchSize > 1, tuples accumulate in per-edge vectors and travel as
+// one channel operation per batch (Flink's network-buffer model). Every
+// control broadcast — watermark, changelog, barrier, EOS — flushes all
+// pending batches first, so control elements can never overtake data on any
+// edge and per-sender FIFO order is preserved exactly. The engine's
+// watermark cadence therefore bounds how long a tuple can sit in a buffer.
 type Emitter struct {
 	consumers []consumer
 	codec     EdgeCodec
+	batchSize int // ≤1 sends tuples unbatched
 }
 
 // EmitTuple routes a tuple downstream.
 func (e *Emitter) EmitTuple(t event.Tuple) {
+	if e.batchSize > 1 {
+		for ci := range e.consumers {
+			c := &e.consumers[ci]
+			switch c.mode {
+			case Keyed:
+				e.append(&c.targets[hashKey(t.Key, len(c.targets))], t)
+			case Global:
+				e.append(&c.targets[0], t)
+			case Broadcast:
+				for ti := range c.targets {
+					e.append(&c.targets[ti], t)
+				}
+			}
+		}
+		return
+	}
 	el := event.NewTuple(t)
 	for ci := range e.consumers {
 		c := &e.consumers[ci]
@@ -59,8 +109,67 @@ func (e *Emitter) EmitTuple(t event.Tuple) {
 	}
 }
 
-// broadcast delivers a control element to every target of every consumer.
+// append adds a tuple to one edge's pending batch, flushing at batchSize.
+func (e *Emitter) append(tg *target, t event.Tuple) {
+	if tg.buf == nil {
+		tg.buf = getBatch(e.batchSize)
+	}
+	tg.buf = append(tg.buf, t)
+	if len(tg.buf) >= e.batchSize {
+		e.flushTarget(tg)
+	}
+}
+
+// flushTarget ships one edge's pending batch downstream. Cross-node edges
+// pay the serialization cost batch-wise when the codec supports it,
+// amortizing the envelope over the whole vector.
+func (e *Emitter) flushTarget(tg *target) {
+	if len(tg.buf) == 0 {
+		return
+	}
+	batch := tg.buf
+	tg.buf = nil
+	if tg.crossNode && e.codec != nil {
+		if bc, ok := e.codec.(BatchCodec); ok {
+			dec, err := bc.DecodeBatch(bc.EncodeBatch(batch))
+			if err != nil {
+				panic(fmt.Sprintf("spe: edge codec batch round-trip failed: %v", err))
+			}
+			putBatch(batch)
+			batch = dec
+		} else {
+			dec := getBatch(len(batch))
+			for i := range batch {
+				el, err := e.codec.Decode(e.codec.Encode(event.NewTuple(batch[i])))
+				if err != nil {
+					panic(fmt.Sprintf("spe: edge codec round-trip failed: %v", err))
+				}
+				dec = append(dec, el.Tuple)
+			}
+			putBatch(batch)
+			batch = dec
+		}
+	}
+	tg.ch <- message{sender: tg.sender, port: tg.port, batch: batch}
+}
+
+// flushAll ships every pending batch, in fixed edge order (deterministic).
+func (e *Emitter) flushAll() {
+	if e.batchSize <= 1 {
+		return
+	}
+	for ci := range e.consumers {
+		for ti := range e.consumers[ci].targets {
+			e.flushTarget(&e.consumers[ci].targets[ti])
+		}
+	}
+}
+
+// broadcast delivers a control element to every target of every consumer,
+// flushing pending tuple batches first so the control element never
+// overtakes data.
 func (e *Emitter) broadcast(el event.Element) {
+	e.flushAll()
 	for ci := range e.consumers {
 		for ti := range e.consumers[ci].targets {
 			e.send(&e.consumers[ci].targets[ti], el)
@@ -144,6 +253,13 @@ func (rt *instanceRT) run() {
 func (rt *instanceRT) handle(msg message) {
 	if rt.aligning && rt.blocked[msg.sender] {
 		rt.buffered = append(rt.buffered, msg)
+		return
+	}
+	if msg.batch != nil {
+		for i := range msg.batch {
+			rt.logic.OnTuple(msg.port, msg.batch[i], rt.emitter)
+		}
+		putBatch(msg.batch)
 		return
 	}
 	switch msg.elem.Kind {

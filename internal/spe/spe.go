@@ -47,11 +47,14 @@ func (m PartitionMode) String() string {
 
 // message is the wire format between instances: the element plus the sender's
 // identity within the receiving inbox (for per-sender watermark bookkeeping)
-// and the input port it arrives on.
+// and the input port it arrives on. When batch is non-nil the message carries
+// a vector of data tuples instead of elem (exchange batching): one channel
+// operation moves up to a full network buffer's worth of tuples, Flink-style.
 type message struct {
 	sender int
 	port   int
 	elem   event.Element
+	batch  []event.Tuple
 }
 
 // hashKey spreads tuple keys over instances (Fibonacci hashing).

@@ -12,15 +12,21 @@ import (
 // measurement) real.
 const DefaultChannelCap = 256
 
+// DefaultExchangeBatch is the default per-edge exchange batch size: tuples
+// accumulate in per-edge vectors of this many entries before one channel
+// operation ships them (see Emitter). 1 disables batching.
+const DefaultExchangeBatch = 64
+
 // Topology is a DAG of operators under construction. Build it, then Deploy.
 type Topology struct {
-	nodes      []*Node
-	channelCap int
+	nodes         []*Node
+	channelCap    int
+	exchangeBatch int
 }
 
 // NewTopology creates an empty topology.
 func NewTopology() *Topology {
-	return &Topology{channelCap: DefaultChannelCap}
+	return &Topology{channelCap: DefaultChannelCap, exchangeBatch: DefaultExchangeBatch}
 }
 
 // SetChannelCap overrides the exchange channel capacity (must be ≥ 1).
@@ -29,6 +35,17 @@ func (t *Topology) SetChannelCap(n int) {
 		n = 1
 	}
 	t.channelCap = n
+}
+
+// SetExchangeBatch overrides the per-edge exchange batch size (1 disables
+// batching; values < 1 are clamped to 1). Control elements — watermarks,
+// changelogs, barriers, EOS — always flush pending batches first, so
+// batching never reorders an edge.
+func (t *Topology) SetExchangeBatch(n int) {
+	if n < 1 {
+		n = 1
+	}
+	t.exchangeBatch = n
 }
 
 // Node is one operator in the topology.
