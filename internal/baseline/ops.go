@@ -18,6 +18,7 @@ import (
 func (e *Engine) deployQuery(q *core.Query, sink core.Sink) (*queryJob, error) {
 	topo := spe.NewTopology()
 	topo.SetChannelCap(e.cfg.ChannelCap)
+	topo.SetNowNanos(e.cfg.NowNanos)
 	P := e.cfg.Parallelism
 	wrap := newSinkWrapper(sink)
 
@@ -26,9 +27,14 @@ func (e *Engine) deployQuery(q *core.Query, sink core.Sink) (*queryJob, error) {
 	for i := 0; i < q.Arity; i++ {
 		srcs[i] = topo.AddSource("src", 1)
 		pred := q.Predicates[i]
-		filters[i] = topo.AddOperator("filter", P, spe.NewMapLogic(func(t *event.Tuple) bool {
+		// A per-query predicate is stateless and key-preserving, so it
+		// needs no shuffle of its own: declare it forward at the source's
+		// parallelism and Deploy fuses it into the source — tuples failing
+		// the predicate are dropped before the keyed exchange to the
+		// stateful stages, not after.
+		filters[i] = topo.AddOperator("filter", 1, spe.NewMapLogic(func(t *event.Tuple) bool {
 			return pred.Eval(t)
-		}), spe.KeyedInput(srcs[i]))
+		}), spe.ForwardInput(srcs[i]))
 		filters[i].AssignNodes(e.cfg.Nodes)
 	}
 
@@ -75,7 +81,7 @@ func (e *Engine) deployQuery(q *core.Query, sink core.Sink) (*queryJob, error) {
 		return nil, err
 	}
 	// Total operator instances = savepoint acknowledgements per barrier.
-	instances := q.Arity * P       // filters
+	instances := q.Arity           // filters (fused into their sources, parallelism 1)
 	instances += (q.Arity - 1) * P // join stages
 	switch q.Kind {
 	case core.KindAggregation, core.KindComplex, core.KindSelection:

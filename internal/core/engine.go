@@ -38,10 +38,15 @@ type Config struct {
 	WatermarkEvery event.Time
 	// ChannelCap bounds exchange channels (backpressure).
 	ChannelCap int
-	// ExchangeBatch is the per-edge exchange batch size (tuples per channel
-	// operation); 1 disables batching, 0 picks the SPE default. Watermark
-	// cadence (WatermarkEvery) bounds how long a tuple can sit batched.
+	// ExchangeBatch is the per-edge exchange batch size ceiling (tuples per
+	// channel operation); 1 disables batching, 0 picks the SPE default. Each
+	// edge adapts its actual batch threshold to downstream queue occupancy.
 	ExchangeBatch int
+	// ExchangeFlush bounds how long a partial exchange batch may sit before
+	// a time-based flush ships it, independent of the watermark cadence.
+	// 0 picks the default (1ms); negative disables the time-based flush
+	// (instances still flush whenever their inbox runs dry).
+	ExchangeFlush time.Duration
 	// GroupedThreshold is the active-query count above which the shared
 	// session sends the §3.2.3 marker switching join slice stores from
 	// query-set grouping to flat lists (the paper's heuristic: beyond ~10
@@ -78,6 +83,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.ExchangeBatch <= 0 {
 		c.ExchangeBatch = spe.DefaultExchangeBatch
+	}
+	if c.ExchangeFlush == 0 {
+		c.ExchangeFlush = time.Millisecond
 	}
 	if c.ChannelCap <= 0 {
 		// A channel slot carries a whole batch, so keep the default
@@ -169,6 +177,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 	topo := spe.NewTopology()
 	topo.SetChannelCap(cfg.ChannelCap)
 	topo.SetExchangeBatch(cfg.ExchangeBatch)
+	topo.SetFlushInterval(int64(cfg.ExchangeFlush))
+	topo.SetNowNanos(cfg.NowNanos)
 	eng.topo = topo
 
 	S, P := cfg.Streams, cfg.Parallelism
@@ -179,11 +189,20 @@ func NewEngine(cfg Config) (*Engine, error) {
 		srcs[i] = topo.AddSource(fmt.Sprintf("src-%d", i), 1)
 		eng.selLogics[i] = make([]*SharedSelection, P)
 		i := i
+		// The src→select shuffle is load-bearing when P > 1: it is what
+		// parallelizes the O(active queries) predicate work across selection
+		// instances. At P == 1 it routes every tuple to instance 0 anyway,
+		// so declare it forward and let Deploy chain the selection straight
+		// into the source's ingest call.
+		srcInput := spe.KeyedInput(srcs[i])
+		if P == 1 {
+			srcInput = spe.ForwardInput(srcs[i])
+		}
 		sels[i] = topo.AddOperator(fmt.Sprintf("select-%d", i), P, func(inst int) spe.Logic {
 			l := NewSharedSelection(i, cfg.Lateness, eng.metrics)
 			eng.selLogics[i][inst] = l
 			return l
-		}, spe.KeyedInput(srcs[i]))
+		}, srcInput)
 		sels[i].AssignNodes(cfg.Nodes)
 	}
 	eng.srcNodes = srcs
@@ -207,7 +226,15 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 
 	// Shared aggregation: port 0 = stream 0 selection, port k = join k-1.
-	aggInputs := []spe.Input{spe.KeyedInput(sels[0])}
+	// With a single stream the aggregation is selection's only consumer and
+	// both route by the same key at the same parallelism, so keyed routing
+	// is the identity — declare the edge forward and the two operators fuse
+	// into one instance per partition.
+	aggInput0 := spe.KeyedInput(sels[0])
+	if S == 1 {
+		aggInput0 = spe.ForwardInput(sels[0])
+	}
+	aggInputs := []spe.Input{aggInput0}
 	for _, jn := range joins {
 		aggInputs = append(aggInputs, spe.KeyedInput(jn))
 	}
@@ -258,6 +285,14 @@ func (e *Engine) InstanceCount() int {
 
 // Router returns the engine's result router.
 func (e *Engine) Router() *Router { return e.router }
+
+// TopologyDot renders the deployed shared topology as Graphviz, with fused
+// operator chains boxed as subgraphs.
+func (e *Engine) TopologyDot() string { return e.topo.Dot() }
+
+// Chains returns the operator chains the deployment fused (name lists,
+// head first); empty when every edge is a real exchange.
+func (e *Engine) Chains() [][]string { return e.topo.Chains() }
 
 // ActiveQueries returns the number of running queries.
 func (e *Engine) ActiveQueries() int {

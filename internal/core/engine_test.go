@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -592,6 +593,52 @@ func TestEngineParallelismInvariance(t *testing.T) {
 			t.Fatalf("parallelism changed results at %d: %s vs %s", i, a[i], b[i])
 		}
 	}
+}
+
+func TestEngineTopologyChains(t *testing.T) {
+	// Single stream, parallelism 1: the whole pipeline is one fused chain —
+	// no exchanges, no per-operator goroutines beyond the source driver.
+	h := newHarness(t, 1, 1)
+	chains := h.eng.Chains()
+	if len(chains) != 1 {
+		t.Fatalf("S=1 P=1 chains = %v, want one chain", chains)
+	}
+	want := []string{"src-0", "select-0", "aggregate"}
+	if len(chains[0]) != len(want) {
+		t.Fatalf("chain = %v, want %v", chains[0], want)
+	}
+	for i, name := range want {
+		if chains[0][i] != name {
+			t.Fatalf("chain = %v, want %v", chains[0], want)
+		}
+	}
+	dot := h.eng.TopologyDot()
+	if !strings.Contains(dot, "cluster_chain_0") || !strings.Contains(dot, "chained") {
+		t.Fatalf("TopologyDot missing chain rendering:\n%s", dot)
+	}
+	// The fused engine must still compute correct results.
+	h.submit(aggQ(window.TumblingSpec(10), sqlstream.AggSum, 0, expr.True()))
+	for i := 1; i <= 25; i++ {
+		h.ingest(0, int64(i%4), event.Time(i), int64(i))
+	}
+	h.finish()
+
+	// Parallelism > 1 keeps the src→select shuffle (it parallelizes
+	// predicate work) but still fuses select→aggregate when S == 1.
+	h2 := newHarness(t, 1, 4)
+	chains2 := h2.eng.Chains()
+	if len(chains2) != 1 || len(chains2[0]) != 2 ||
+		chains2[0][0] != "select-0" || chains2[0][1] != "aggregate" {
+		t.Fatalf("S=1 P=4 chains = %v, want [[select-0 aggregate]]", chains2)
+	}
+	h2.eng.Drain()
+
+	// Multi-stream engines shuffle into joins on key: nothing fuses.
+	h3 := newHarness(t, 2, 2)
+	if chains3 := h3.eng.Chains(); len(chains3) != 0 {
+		t.Fatalf("S=2 chains = %v, want none", chains3)
+	}
+	h3.eng.Drain()
 }
 
 func TestEngineValidationErrors(t *testing.T) {

@@ -108,6 +108,31 @@ func KernelBenchmarks() []KernelBench {
 			},
 		},
 		{
+			// The fused sel→agg chain exactly as Deploy wires it for
+			// single-stream engines: selection stamps the query set, the
+			// chained emitter direct-calls the aggregation — no channel, no
+			// batch buffer between them.
+			Name: "chain-sel-agg-64q",
+			New: func() func(int) {
+				sel := NewSharedSelection(0, 0, NewOpMetrics(nil))
+				entries := make([]selEntry, 64)
+				for s := range entries {
+					entries[s] = selEntry{
+						slot: s,
+						pred: expr.True().And(expr.Comparison{Field: 0, Op: expr.LT, Value: 900}),
+					}
+				}
+				sel.versions = []selVersion{{from: event.MinTime, entries: entries}}
+				agg := benchAgg(64)
+				em := spe.NewChainedEmitter(agg, &spe.Emitter{})
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
+					}
+				}
+			},
+		},
+		{
 			Name: "bitset-and-into-128bit",
 			New: func() func(int) {
 				a := bitset.FromIndexes(1, 3, 64, 90, 120)

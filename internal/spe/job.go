@@ -37,8 +37,13 @@ func WithSnapshotSink(s SnapshotSink) DeployOption {
 	return func(d *deployConfig) { d.snapSink = s }
 }
 
-// Deploy validates the topology, builds every instance, wires the exchanges,
-// and starts the goroutines. The returned Job is running and waiting for
+// Deploy validates the topology, plans operator chains, builds every
+// instance, wires the exchanges, and starts the goroutines. Maximal runs of
+// fusable forward edges (see Topology.chainNext) collapse into one instance
+// each: the chained logics share a goroutine and pass tuples by direct call,
+// so fused edges have no channel, no batch buffer, and no codec. A chain
+// headed by a source runs embedded in the source's own goroutine (the one
+// calling SourceContext). The returned Job is running and waiting for
 // source input.
 func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 	if err := t.Validate(); err != nil {
@@ -54,23 +59,67 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 		sources: make(map[*Node][]*SourceContext),
 	}
 
-	// Count senders per (node, instance): every upstream instance of every
-	// input port is one sender.
+	next := t.chainNext()
+	prev := make(map[*Node]*Node, len(next))
 	for _, n := range t.nodes {
-		if n.isSource {
+		if d := next[n]; d != nil {
+			prev[d] = n
+		}
+	}
+	// chainFrom lists the fused run deployed as one instance, head first.
+	chainFrom := func(head *Node) []*Node {
+		var run []*Node
+		for m := head; m != nil; m = next[m] {
+			run = append(run, m)
+		}
+		return run
+	}
+	newMembers := func(run []*Node, i int) []chainMember {
+		members := make([]chainMember, len(run))
+		for k, m := range run {
+			members[k] = chainMember{node: m, logic: m.newLogic(i)}
+		}
+		return members
+	}
+
+	// Build the instances that own a goroutine and an inbox: operators that
+	// are not fused into an upstream instance. Sender counting is unchanged
+	// — a chain head's inputs are always real exchange edges.
+	for _, n := range t.nodes {
+		if n.isSource || prev[n] != nil {
 			continue
 		}
 		senders := 0
 		for _, in := range n.inputs {
 			senders += in.from.parallelism
 		}
+		run := chainFrom(n)
 		rts := make([]*instanceRT, n.parallelism)
 		for i := 0; i < n.parallelism; i++ {
-			rt := newInstanceRT(n, i, n.newLogic(i), senders, t.channelCap)
+			rt := newInstanceRT(n, i, newMembers(run, i), senders, t.channelCap)
 			rt.snapSink = cfg.snapSink
 			rts[i] = rt
 		}
 		j.insts[n] = rts
+	}
+
+	// Chains headed by a source have no inbox at all: the source instance
+	// drives the chain in-line through its SourceContext, which acts as the
+	// single sender.
+	embedded := map[*Node][]*instanceRT{}
+	for _, n := range t.nodes {
+		if !n.isSource || next[n] == nil {
+			continue
+		}
+		run := chainFrom(next[n])
+		rts := make([]*instanceRT, n.parallelism)
+		for i := 0; i < n.parallelism; i++ {
+			rt := newInstanceRT(run[0], i, newMembers(run, i), 1, 0)
+			rt.inbox = nil
+			rt.snapSink = cfg.snapSink
+			rts[i] = rt
+		}
+		embedded[n] = rts
 	}
 
 	// Build emitters. Sender IDs within an inbox are assigned in input-port
@@ -91,14 +140,23 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 		senderBase[n] = bases
 	}
 
+	// emitterFor builds the exchange emitter for an unfused out-edge set.
+	// Every consumer it finds is a deployed chain head: a fused consumer's
+	// only input is its fused edge, and emitterFor is never called for the
+	// upstream of a fused edge (that upstream is inside a chain).
 	emitterFor := func(u *Node, ui int) *Emitter {
-		em := &Emitter{codec: cfg.codec, batchSize: t.exchangeBatch}
+		em := &Emitter{
+			codec:      cfg.codec,
+			batchSize:  t.exchangeBatch,
+			nowNanos:   t.nowNanos,
+			flushNanos: t.flushNanos,
+		}
 		for _, d := range t.nodes {
 			for pi, in := range d.inputs {
 				if in.from != u {
 					continue
 				}
-				c := consumer{mode: in.mode}
+				c := consumer{mode: in.mode, self: ui}
 				for di := 0; di < d.parallelism; di++ {
 					c.targets = append(c.targets, target{
 						ch:        j.insts[d][di].inbox,
@@ -113,23 +171,44 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 		return em
 	}
 
+	// wireChain gives the chain tail its exchange emitter and links every
+	// earlier member to its successor by direct call.
+	wireChain := func(rt *instanceRT, i int) {
+		last := len(rt.members) - 1
+		rt.emitter = emitterFor(rt.members[last].node, i)
+		rt.members[last].out = rt.emitter
+		for k := last - 1; k >= 0; k-- {
+			rt.members[k].out = NewChainedEmitter(rt.members[k+1].logic, rt.members[k+1].out)
+		}
+	}
+
 	for _, n := range t.nodes {
 		if n.isSource {
 			ctxs := make([]*SourceContext, n.parallelism)
 			for i := 0; i < n.parallelism; i++ {
-				ctxs[i] = &SourceContext{emitter: emitterFor(n, i)}
+				if next[n] != nil {
+					rt := embedded[n][i]
+					wireChain(rt, i)
+					ctxs[i] = &SourceContext{chain: rt}
+				} else {
+					ctxs[i] = &SourceContext{emitter: emitterFor(n, i)}
+				}
 			}
 			j.sources[n] = ctxs
 			continue
 		}
+		if prev[n] != nil {
+			continue // fused into an upstream instance
+		}
 		for i, rt := range j.insts[n] {
-			rt.emitter = emitterFor(n, i)
+			wireChain(rt, i)
 		}
 	}
 
-	// Start instance goroutines.
+	// Start instance goroutines (embedded chains run on their source's
+	// caller and need none).
 	for _, n := range t.nodes {
-		if n.isSource {
+		if n.isSource || prev[n] != nil {
 			continue
 		}
 		for _, rt := range j.insts[n] {
@@ -179,20 +258,35 @@ func (j *Job) Stop() {
 }
 
 // SourceContext pushes elements into the running job on behalf of one source
-// instance. A SourceContext must be used by a single goroutine.
+// instance. A SourceContext must be used by a single goroutine. When the
+// source heads a fused chain, that chain runs embedded here: every emission
+// drives the chained logics synchronously on the calling goroutine, and the
+// chain tail's exchange emitter is the first channel hop.
 type SourceContext struct {
-	emitter *Emitter
+	emitter *Emitter    // exchange emitter (nil when the source heads a chain)
+	chain   *instanceRT // embedded chain driven in-line (nil otherwise)
 	closed  bool
 }
 
 // EmitTuple pushes a data tuple.
 func (s *SourceContext) EmitTuple(t event.Tuple) {
+	if s.chain != nil {
+		head := &s.chain.members[0]
+		head.logic.OnTuple(0, t, head.out)
+		s.chain.emitter.maybeTimeFlush()
+		return
+	}
 	s.emitter.EmitTuple(t)
+	s.emitter.maybeTimeFlush()
 }
 
 // EmitWatermark asserts no later tuple from this source will have an
 // event-time ≤ wm.
 func (s *SourceContext) EmitWatermark(wm event.Time) {
+	if s.chain != nil {
+		s.chain.onWatermark(0, wm)
+		return
+	}
 	s.emitter.broadcast(event.NewWatermark(wm))
 }
 
@@ -200,11 +294,19 @@ func (s *SourceContext) EmitWatermark(wm event.Time) {
 // The payload must implement ChangelogPayload. With a parallel source, every
 // instance must emit every changelog (the runtime deduplicates downstream).
 func (s *SourceContext) EmitChangelog(payload ChangelogPayload, at event.Time) {
+	if s.chain != nil {
+		s.chain.onChangelog(event.NewChangelog(payload, at))
+		return
+	}
 	s.emitter.broadcast(event.NewChangelog(payload, at))
 }
 
 // EmitBarrier injects a checkpoint barrier.
 func (s *SourceContext) EmitBarrier(id uint64) {
+	if s.chain != nil {
+		s.chain.onBarrier(0, id)
+		return
+	}
 	s.emitter.broadcast(event.NewBarrier(id))
 }
 
@@ -214,5 +316,9 @@ func (s *SourceContext) Close() {
 		return
 	}
 	s.closed = true
+	if s.chain != nil {
+		s.chain.sourceClose()
+		return
+	}
 	s.emitter.broadcast(event.EOS())
 }

@@ -21,20 +21,38 @@ type SnapshotSink interface {
 
 // target is one downstream inbox reachable from an emitter. buf is the
 // pending exchange batch for this edge; it is owned by the emitting
-// goroutine and flushed on size or on any control broadcast.
+// goroutine and flushed on size or on any control broadcast. size is the
+// edge's adaptive batch threshold: it grows toward the configured maximum
+// while the downstream queue is backlogged (the channel operation is the
+// contended resource, so amortize more tuples per send) and shrinks after
+// idleShrinkAfter consecutive flushes that found the queue empty (the
+// consumer keeps up, so smaller batches cut latency for free).
 type target struct {
 	ch        chan message
 	sender    int
 	port      int // which input port of the receiver this edge feeds
 	crossNode bool
 	buf       []event.Tuple
+	size      int // adaptive threshold in [adaptiveMinBatch, Emitter.batchSize]
+	idle      int // consecutive flushes that saw an empty downstream queue
 }
 
-// consumer groups the targets for one downstream operator.
+// consumer groups the targets for one downstream operator. self is the
+// emitting instance's own index, used by Forward edges to route 1:1.
 type consumer struct {
 	mode    PartitionMode
+	self    int
 	targets []target
 }
+
+// Adaptive exchange tuning. Edges start at adaptiveMinBatch and double on
+// observed backlog, so a quiet edge never pays full-batch staleness and a
+// saturated edge reaches the configured ceiling within a few flushes.
+const (
+	adaptiveMinBatch = 8  // floor and starting point of the per-edge threshold
+	idleShrinkAfter  = 16 // empty-queue flushes before the threshold halves
+	flushCheckEvery  = 16 // elements between time-based flush deadline checks
+)
 
 // tupleBatchPool recycles exchange batch buffers between emitting and
 // receiving goroutines.
@@ -62,20 +80,52 @@ func putBatch(b []event.Tuple) {
 // instance. Tuples are partitioned per consumer mode; control elements are
 // broadcast. An Emitter is owned by its instance goroutine.
 //
+// A chained emitter (direct non-nil) is the fused-edge fast path: EmitTuple
+// invokes the next chained logic's OnTuple directly — no channel, no batch
+// buffer, no codec — and carries no consumers of its own.
+//
 // With batchSize > 1, tuples accumulate in per-edge vectors and travel as
 // one channel operation per batch (Flink's network-buffer model). Every
 // control broadcast — watermark, changelog, barrier, EOS — flushes all
 // pending batches first, so control elements can never overtake data on any
-// edge and per-sender FIFO order is preserved exactly. The engine's
-// watermark cadence therefore bounds how long a tuple can sit in a buffer.
+// edge and per-sender FIFO order is preserved exactly. Partial batches are
+// additionally flushed when the owning instance goes idle (its inbox is
+// empty) and, when a clock is injected, after flushNanos of sitting pending
+// — so staleness no longer depends on the watermark cadence.
 type Emitter struct {
 	consumers []consumer
 	codec     EdgeCodec
-	batchSize int // ≤1 sends tuples unbatched
+	batchSize int         // ≤1 sends tuples unbatched; else the adaptive ceiling
+	direct    *directLink // fused-edge fast path; nil for exchange emitters
+
+	pending      int // targets currently holding a partial batch
+	nowNanos     func() int64
+	flushNanos   int64 // ≤0 disables time-based flushing
+	pendingSince int64 // first deadline check that observed pending batches
+	sinceCheck   int   // elements since the last deadline check
+}
+
+// directLink connects a chained emitter to the next logic in its fused
+// chain, along with the emitter that logic's own emissions go to.
+type directLink struct {
+	logic Logic
+	out   *Emitter
+}
+
+// NewChainedEmitter returns the direct-call emitter a fused chain hands to
+// a member whose downstream is next: EmitTuple invokes next.OnTuple(0, t,
+// downstream) synchronously. Exported for benchmarks and tests of the chain
+// driver; Deploy builds these internally for every fused edge.
+func NewChainedEmitter(next Logic, downstream *Emitter) *Emitter {
+	return &Emitter{direct: &directLink{logic: next, out: downstream}}
 }
 
 // EmitTuple routes a tuple downstream.
 func (e *Emitter) EmitTuple(t event.Tuple) {
+	if e.direct != nil {
+		e.direct.logic.OnTuple(0, t, e.direct.out)
+		return
+	}
 	if e.batchSize > 1 {
 		for ci := range e.consumers {
 			c := &e.consumers[ci]
@@ -84,6 +134,8 @@ func (e *Emitter) EmitTuple(t event.Tuple) {
 				e.append(&c.targets[hashKey(t.Key, len(c.targets))], t)
 			case Global:
 				e.append(&c.targets[0], t)
+			case Forward:
+				e.append(&c.targets[c.self], t)
 			case Broadcast:
 				for ti := range c.targets {
 					e.append(&c.targets[ti], t)
@@ -101,6 +153,8 @@ func (e *Emitter) EmitTuple(t event.Tuple) {
 			e.send(tg, el)
 		case Global:
 			e.send(&c.targets[0], el)
+		case Forward:
+			e.send(&c.targets[c.self], el)
 		case Broadcast:
 			for ti := range c.targets {
 				e.send(&c.targets[ti], el)
@@ -109,13 +163,21 @@ func (e *Emitter) EmitTuple(t event.Tuple) {
 	}
 }
 
-// append adds a tuple to one edge's pending batch, flushing at batchSize.
+// append adds a tuple to one edge's pending batch, flushing at the edge's
+// adaptive threshold.
 func (e *Emitter) append(tg *target, t event.Tuple) {
 	if tg.buf == nil {
-		tg.buf = getBatch(e.batchSize)
+		if tg.size == 0 {
+			tg.size = adaptiveMinBatch
+			if tg.size > e.batchSize {
+				tg.size = e.batchSize
+			}
+		}
+		tg.buf = getBatch(tg.size)
+		e.pending++
 	}
 	tg.buf = append(tg.buf, t)
-	if len(tg.buf) >= e.batchSize {
+	if len(tg.buf) >= tg.size {
 		e.flushTarget(tg)
 	}
 }
@@ -129,6 +191,11 @@ func (e *Emitter) flushTarget(tg *target) {
 	}
 	batch := tg.buf
 	tg.buf = nil
+	e.pending--
+	if e.pending == 0 {
+		e.pendingSince = 0
+	}
+	e.adapt(tg)
 	if tg.crossNode && e.codec != nil {
 		if bc, ok := e.codec.(BatchCodec); ok {
 			dec, err := bc.DecodeBatch(bc.EncodeBatch(batch))
@@ -153,15 +220,68 @@ func (e *Emitter) flushTarget(tg *target) {
 	tg.ch <- message{sender: tg.sender, port: tg.port, batch: batch}
 }
 
+// adapt resizes one edge's batch threshold from the downstream queue's
+// occupancy, observed at flush time. A backlogged channel (≥ half full)
+// doubles the threshold toward the configured ceiling; a queue found empty
+// idleShrinkAfter flushes in a row halves it toward adaptiveMinBatch.
+// Occupancy in between leaves the threshold alone and resets the idle run.
+func (e *Emitter) adapt(tg *target) {
+	q, c := len(tg.ch), cap(tg.ch)
+	switch {
+	case 2*q >= c && c > 0:
+		tg.idle = 0
+		if n := tg.size * 2; n <= e.batchSize {
+			tg.size = n
+		} else {
+			tg.size = e.batchSize
+		}
+	case q == 0:
+		tg.idle++
+		if tg.idle >= idleShrinkAfter {
+			tg.idle = 0
+			if n := tg.size / 2; n >= adaptiveMinBatch {
+				tg.size = n
+			}
+		}
+	default:
+		tg.idle = 0
+	}
+}
+
 // flushAll ships every pending batch, in fixed edge order (deterministic).
 func (e *Emitter) flushAll() {
-	if e.batchSize <= 1 {
+	if e.pending == 0 {
 		return
 	}
 	for ci := range e.consumers {
 		for ti := range e.consumers[ci].targets {
 			e.flushTarget(&e.consumers[ci].targets[ti])
 		}
+	}
+}
+
+// maybeTimeFlush flushes pending batches once they have sat for flushNanos,
+// bounding staleness on low-rate edges independently of the watermark
+// cadence. The clock is only consulted every flushCheckEvery elements, so
+// the hot path pays an integer increment; the realized bound is therefore
+// flushNanos plus up to two check intervals, which is what "low-rate edge"
+// makes negligible. No-op without an injected clock.
+func (e *Emitter) maybeTimeFlush() {
+	if e.pending == 0 || e.flushNanos <= 0 || e.nowNanos == nil {
+		return
+	}
+	e.sinceCheck++
+	if e.sinceCheck < flushCheckEvery {
+		return
+	}
+	e.sinceCheck = 0
+	now := e.nowNanos()
+	if e.pendingSince == 0 {
+		e.pendingSince = now
+		return
+	}
+	if now-e.pendingSince >= e.flushNanos {
+		e.flushAll()
 	}
 }
 
@@ -199,14 +319,29 @@ func (e *Emitter) send(tg *target, el event.Element) {
 // hasConsumers reports whether anything is downstream (sinks have none).
 func (e *Emitter) hasConsumers() bool { return len(e.consumers) > 0 }
 
-// instanceRT is the runtime state of one operator instance.
+// chainMember is one fused operator within an instance: its topology node
+// (which names its snapshots), its logic, and the emitter that logic's
+// callbacks receive — a direct-call link to the next member, or the real
+// exchange emitter for the chain tail.
+type chainMember struct {
+	node  *Node
+	logic Logic
+	out   *Emitter
+}
+
+// instanceRT is the runtime state of one deployed instance: an operator
+// chain of one or more fused logics sharing an inbox and a goroutine.
+// Tuples enter members[0] and propagate by direct call; control elements
+// traverse the chain in-line, member by member, so member j's emissions
+// during a control callback reach member j+1's OnTuple before j+1's own
+// callback runs — exactly the order an unfused deployment delivers.
 type instanceRT struct {
-	op       *Node
+	op       *Node // chain head (names the instance in diagnostics)
 	instance int
-	logic    Logic
-	inbox    chan message
+	members  []chainMember
+	inbox    chan message // nil for chains embedded in a source (see SourceContext)
 	senders  int
-	emitter  *Emitter
+	emitter  *Emitter // the chain tail's exchange emitter
 	snapSink SnapshotSink
 
 	wms        []event.Time // per-sender watermark
@@ -222,11 +357,11 @@ type instanceRT struct {
 	buffered  []message
 }
 
-func newInstanceRT(op *Node, instance int, logic Logic, senders int, inboxCap int) *instanceRT {
+func newInstanceRT(op *Node, instance int, members []chainMember, senders int, inboxCap int) *instanceRT {
 	rt := &instanceRT{
 		op:         op,
 		instance:   instance,
-		logic:      logic,
+		members:    members,
 		inbox:      make(chan message, inboxCap),
 		senders:    senders,
 		wms:        make([]event.Time, senders),
@@ -241,12 +376,32 @@ func newInstanceRT(op *Node, instance int, logic Logic, senders int, inboxCap in
 }
 
 // run is the instance main loop: consume until every sender has sent EOS.
+// Whenever the inbox runs dry the instance flushes its partial output
+// batches before blocking, so downstream staleness under low input rates is
+// bounded by idleness, not by batch fill.
 func (rt *instanceRT) run() {
 	for rt.doneCount < rt.senders {
-		msg := <-rt.inbox
+		var msg message
+		select {
+		case msg = <-rt.inbox:
+		default:
+			rt.emitter.flushAll()
+			msg = <-rt.inbox
+		}
 		rt.handle(msg)
+		rt.emitter.maybeTimeFlush()
 	}
-	rt.logic.OnEOS(rt.emitter)
+	rt.finish()
+}
+
+// finish drains the chain at end-of-stream: each member's OnEOS runs with
+// its own emitter (so final emissions still traverse the rest of the
+// chain), then EOS is broadcast downstream.
+func (rt *instanceRT) finish() {
+	for i := range rt.members {
+		m := &rt.members[i]
+		m.logic.OnEOS(m.out)
+	}
 	rt.emitter.broadcast(event.EOS())
 }
 
@@ -256,15 +411,17 @@ func (rt *instanceRT) handle(msg message) {
 		return
 	}
 	if msg.batch != nil {
+		head := &rt.members[0]
 		for i := range msg.batch {
-			rt.logic.OnTuple(msg.port, msg.batch[i], rt.emitter)
+			head.logic.OnTuple(msg.port, msg.batch[i], head.out)
 		}
 		putBatch(msg.batch)
 		return
 	}
 	switch msg.elem.Kind {
 	case event.KindTuple:
-		rt.logic.OnTuple(msg.port, msg.elem.Tuple, rt.emitter)
+		head := &rt.members[0]
+		head.logic.OnTuple(msg.port, msg.elem.Tuple, head.out)
 	case event.KindWatermark:
 		rt.onWatermark(msg.sender, msg.elem.Watermark)
 	case event.KindChangelog:
@@ -302,7 +459,10 @@ func (rt *instanceRT) advanceWatermark() {
 		return
 	}
 	rt.combinedWM = min
-	rt.logic.OnWatermark(min, rt.emitter)
+	for i := range rt.members {
+		m := &rt.members[i]
+		m.logic.OnWatermark(min, m.out)
+	}
 	rt.emitter.broadcast(event.NewWatermark(min))
 }
 
@@ -319,7 +479,10 @@ func (rt *instanceRT) onChangelog(el event.Element) {
 		panic(fmt.Sprintf("spe: %s[%d] changelog gap: have %d, got %d", rt.op.name, rt.instance, rt.clSeq, seq))
 	}
 	rt.clSeq = seq
-	rt.logic.OnChangelog(el.Changelog, el.Watermark, rt.emitter)
+	for i := range rt.members {
+		m := &rt.members[i]
+		m.logic.OnChangelog(el.Changelog, el.Watermark, m.out)
+	}
 	rt.emitter.broadcast(el)
 }
 
@@ -341,10 +504,20 @@ func (rt *instanceRT) onBarrier(sender int, id uint64) {
 			return
 		}
 	}
-	// Alignment complete: snapshot, forward, replay buffered input.
-	state := rt.logic.OnBarrier(id, rt.emitter)
-	if rt.snapSink != nil {
-		rt.snapSink.OnSnapshot(rt.op.name, rt.instance, id, state)
+	rt.completeBarrier(id)
+}
+
+// completeBarrier runs after input alignment: each chain member snapshots
+// under its own node name (a fused chain still produces one snapshot per
+// operator, so checkpoint accounting is fusion-agnostic), the barrier is
+// forwarded, and buffered input replays.
+func (rt *instanceRT) completeBarrier(id uint64) {
+	for i := range rt.members {
+		m := &rt.members[i]
+		state := m.logic.OnBarrier(id, m.out)
+		if rt.snapSink != nil {
+			rt.snapSink.OnSnapshot(m.node.name, rt.instance, id, state)
+		}
 	}
 	rt.emitter.broadcast(event.NewBarrier(id))
 	rt.aligning = false
@@ -377,15 +550,13 @@ func (rt *instanceRT) onBarrierSenderGone() {
 			return
 		}
 	}
-	state := rt.logic.OnBarrier(rt.barrierID, rt.emitter)
-	if rt.snapSink != nil {
-		rt.snapSink.OnSnapshot(rt.op.name, rt.instance, rt.barrierID, state)
-	}
-	rt.emitter.broadcast(event.NewBarrier(rt.barrierID))
-	rt.aligning = false
-	buf := rt.buffered
-	rt.buffered = nil
-	for _, m := range buf {
-		rt.handle(m)
-	}
+	rt.completeBarrier(rt.barrierID)
+}
+
+// sourceClose ends a chain embedded in a source instance: the source is the
+// instance's only sender and there is no goroutine to unwind, so EOS and
+// the end-of-stream drain run in-line on the caller.
+func (rt *instanceRT) sourceClose() {
+	rt.onEOS(0)
+	rt.finish()
 }

@@ -10,8 +10,9 @@ import (
 // handle() testing.
 func newBareRT(senders int, logic Logic) *instanceRT {
 	op := &Node{name: "test", parallelism: 1}
-	rt := newInstanceRT(op, 0, logic, senders, 16)
-	rt.emitter = &Emitter{}
+	em := &Emitter{}
+	rt := newInstanceRT(op, 0, []chainMember{{node: op, logic: logic, out: em}}, senders, 16)
+	rt.emitter = em
 	return rt
 }
 
@@ -114,6 +115,12 @@ func TestRuntimeDuplicateEOSIgnored(t *testing.T) {
 func TestPartitionModeStrings(t *testing.T) {
 	if Keyed.String() != "keyed" || Broadcast.String() != "broadcast" || Global.String() != "global" {
 		t.Fatal("PartitionMode strings")
+	}
+	if Forward.String() != "forward" {
+		t.Fatalf("Forward.String() = %q, want %q", Forward.String(), "forward")
+	}
+	if got := PartitionMode(99).String(); got != "mode(99)" {
+		t.Fatalf("unknown mode String() = %q", got)
 	}
 }
 

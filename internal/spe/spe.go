@@ -30,6 +30,15 @@ const (
 	Broadcast
 	// Global delivers every tuple to instance 0.
 	Global
+	// Forward delivers every tuple from upstream instance i to downstream
+	// instance i: a 1:1 edge with no repartitioning. Forward edges require
+	// equal parallelism on both ends and must be the consumer's only input
+	// (Topology.Validate enforces both). Runs of forward edges whose
+	// upstream has a single consumer and whose instances are co-located are
+	// fused into operator chains at deploy time: the chained logics share
+	// one instance and pass tuples by direct call, skipping the channel,
+	// the batch buffer, and the codec entirely.
+	Forward
 )
 
 func (m PartitionMode) String() string {
@@ -40,6 +49,8 @@ func (m PartitionMode) String() string {
 		return "broadcast"
 	case Global:
 		return "global"
+	case Forward:
+		return "forward"
 	default:
 		return fmt.Sprintf("mode(%d)", uint8(m))
 	}

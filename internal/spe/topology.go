@@ -22,6 +22,10 @@ type Topology struct {
 	nodes         []*Node
 	channelCap    int
 	exchangeBatch int
+	// flushNanos bounds how long a partially filled exchange batch may sit
+	// before a time-based flush ships it (0 disables). Requires nowNanos.
+	flushNanos int64
+	nowNanos   func() int64
 }
 
 // NewTopology creates an empty topology.
@@ -40,12 +44,33 @@ func (t *Topology) SetChannelCap(n int) {
 // SetExchangeBatch overrides the per-edge exchange batch size (1 disables
 // batching; values < 1 are clamped to 1). Control elements — watermarks,
 // changelogs, barriers, EOS — always flush pending batches first, so
-// batching never reorders an edge.
+// batching never reorders an edge. The configured value is a ceiling: each
+// edge adapts its actual batch threshold to downstream queue occupancy
+// (see Emitter).
 func (t *Topology) SetExchangeBatch(n int) {
 	if n < 1 {
 		n = 1
 	}
 	t.exchangeBatch = n
+}
+
+// SetFlushInterval bounds how long a partially filled exchange batch may sit
+// before it is flushed regardless of size, making output staleness on
+// low-rate edges independent of the watermark cadence. d ≤ 0 disables the
+// time-based flush. The deadline is checked opportunistically between
+// elements via the clock injected with SetNowNanos; without a clock the
+// interval is ignored.
+func (t *Topology) SetFlushInterval(nanos int64) {
+	if nanos < 0 {
+		nanos = 0
+	}
+	t.flushNanos = nanos
+}
+
+// SetNowNanos injects the monotonic clock used for time-based batch flushes.
+// The spe package never reads the wall clock itself (DESIGN.md §8).
+func (t *Topology) SetNowNanos(now func() int64) {
+	t.nowNanos = now
 }
 
 // Node is one operator in the topology.
@@ -121,6 +146,14 @@ func BroadcastInput(from *Node) Input { return Input{From: from, Mode: Broadcast
 // GlobalInput delivers all tuples to instance 0.
 func GlobalInput(from *Node) Input { return Input{From: from, Mode: Global} }
 
+// ForwardInput delivers tuples 1:1 from upstream instance i to downstream
+// instance i, declaring that no repartitioning is needed on this edge. The
+// consumer must have this as its only input and match the upstream
+// parallelism (Validate). When the upstream additionally has no other
+// consumers and the paired instances are co-located, Deploy fuses the edge
+// into an operator chain with no channel hop at all.
+func ForwardInput(from *Node) Input { return Input{From: from, Mode: Forward} }
+
 // AssignNodes places instances of an operator onto cluster nodes round-robin
 // over nodeCount nodes. Inter-node edges pay the codec cost at deploy time
 // when the job is created with a non-nil EdgeCodec.
@@ -163,9 +196,86 @@ func (t *Topology) Validate() error {
 			if in.from.id >= n.id {
 				return fmt.Errorf("spe: operator %q input %q does not precede it (cycle?)", n.name, in.from.name)
 			}
+			if in.mode == Forward {
+				if in.from.parallelism != n.parallelism {
+					return fmt.Errorf("spe: forward edge %q -> %q requires equal parallelism (%d != %d)",
+						in.from.name, n.name, in.from.parallelism, n.parallelism)
+				}
+				if len(n.inputs) != 1 {
+					return fmt.Errorf("spe: operator %q has a forward input from %q but %d inputs; a forward edge must be its consumer's only input",
+						n.name, in.from.name, len(n.inputs))
+				}
+			}
 		}
 	}
 	return nil
+}
+
+// chainNext maps each node to the single downstream node its output edge is
+// fused with, for every edge that satisfies the chaining rules:
+//
+//   - the edge is Forward mode and is the consumer's only input (Validate
+//     already guarantees equal parallelism for forward edges);
+//   - the upstream has exactly one consumer edge in the whole topology
+//     (multi-consumer forward nodes fall back to a real 1:1 exchange);
+//   - every instance pair (i, i) is co-located — a chain never spans
+//     cluster nodes, so fused calls never need the codec.
+//
+// Maximal runs of fused edges become one deployed instance per index (see
+// Deploy). Iteration is over the ordered node slice, so the plan is
+// deterministic.
+func (t *Topology) chainNext() map[*Node]*Node {
+	consumers := make(map[*Node]int, len(t.nodes))
+	for _, n := range t.nodes {
+		for _, in := range n.inputs {
+			consumers[in.from]++
+		}
+	}
+	next := make(map[*Node]*Node, len(t.nodes))
+	for _, n := range t.nodes {
+		if len(n.inputs) != 1 || n.inputs[0].mode != Forward {
+			continue
+		}
+		u := n.inputs[0].from
+		if consumers[u] != 1 {
+			continue
+		}
+		colocated := true
+		for i := 0; i < n.parallelism; i++ {
+			if u.nodeFor(i) != n.nodeFor(i) {
+				colocated = false
+				break
+			}
+		}
+		if colocated {
+			next[u] = n
+		}
+	}
+	return next
+}
+
+// Chains returns the operator chains Deploy would fuse, as ordered name
+// lists head-first. Only runs of length ≥ 2 are reported.
+func (t *Topology) Chains() [][]string {
+	next := t.chainNext()
+	inChain := make(map[*Node]bool, len(next))
+	for _, n := range t.nodes {
+		if d := next[n]; d != nil {
+			inChain[d] = true
+		}
+	}
+	var chains [][]string
+	for _, n := range t.nodes {
+		if inChain[n] || next[n] == nil {
+			continue // not a chain head
+		}
+		var names []string
+		for m := n; m != nil; m = next[m] {
+			names = append(names, m.name)
+		}
+		chains = append(chains, names)
+	}
+	return chains
 }
 
 // EdgeCodec, when installed on a Job, is applied to every element crossing
@@ -178,18 +288,48 @@ type EdgeCodec interface {
 
 // Dot renders the topology as a Graphviz digraph (operators as nodes,
 // exchanges as labelled edges) — handy for documentation and debugging.
+// Operators that Deploy would fuse into one chain are boxed together in a
+// cluster subgraph, and the fused edges are dashed and labelled "chained"
+// so the rendering matches what actually runs.
 func (t *Topology) Dot() string {
-	var sb strings.Builder
-	sb.WriteString("digraph topology {\n  rankdir=LR;\n")
+	next := t.chainNext()
+	prev := make(map[*Node]*Node, len(next))
 	for _, n := range t.nodes {
+		if d := next[n]; d != nil {
+			prev[d] = n
+		}
+	}
+	decl := func(sb *strings.Builder, indent string, n *Node) {
 		shape := "box"
 		if n.isSource {
 			shape = "ellipse"
 		}
-		fmt.Fprintf(&sb, "  %q [shape=%s,label=\"%s ×%d\"];\n", n.name, shape, n.name, n.parallelism)
+		fmt.Fprintf(sb, "%s%q [shape=%s,label=\"%s ×%d\"];\n", indent, n.name, shape, n.name, n.parallelism)
+	}
+	var sb strings.Builder
+	sb.WriteString("digraph topology {\n  rankdir=LR;\n")
+	chainID := 0
+	for _, n := range t.nodes {
+		if prev[n] != nil {
+			continue // declared inside its chain head's subgraph
+		}
+		if next[n] == nil {
+			decl(&sb, "  ", n)
+			continue
+		}
+		fmt.Fprintf(&sb, "  subgraph cluster_chain_%d {\n    label=\"chain\";\n    style=\"rounded,dashed\";\n", chainID)
+		chainID++
+		for m := n; m != nil; m = next[m] {
+			decl(&sb, "    ", m)
+		}
+		sb.WriteString("  }\n")
 	}
 	for _, n := range t.nodes {
 		for _, in := range n.inputs {
+			if next[in.from] == n {
+				fmt.Fprintf(&sb, "  %q -> %q [label=\"chained\",style=dashed];\n", in.from.name, n.name)
+				continue
+			}
 			fmt.Fprintf(&sb, "  %q -> %q [label=%q];\n", in.from.name, n.name, in.mode.String())
 		}
 	}
