@@ -1,16 +1,25 @@
 // Command astream-vet runs AStream's invariant analyzers over the module:
-// event-time purity (wallclock), lock discipline (lockheld-send),
-// deterministic iteration (maporder), goroutine teardown (leakygo), and
-// consistent atomics (naked-atomic). It is stdlib-only — go/parser,
-// go/types, and go/importer, no x/tools.
+// event-time purity (wallclock), interprocedural lock discipline
+// (lockheld-send), hot-path allocation freedom (hotalloc), deterministic
+// iteration (maporder), goroutine teardown (leakygo), and consistent
+// atomics (naked-atomic). It is stdlib-only — go/parser, go/types, and
+// go/importer, no x/tools.
 //
 // Usage:
 //
-//	astream-vet [-list] [-only name,name] [packages]
+//	astream-vet [-list] [-only name,name] [-format text|json]
+//	            [-baseline file] [-write-baseline file] [packages]
 //
 // Package arguments filter by import-path suffix; "./..." (or no
-// argument) means the whole module. Exit status is 1 when any diagnostic
-// survives //lint:ignore suppression.
+// argument) means the whole module.
+//
+// -format json emits the stable machine-readable schema (see
+// internal/lint.Report): analyzer, repo-relative file, line/col, message,
+// and the witness call chain for interprocedural findings. -baseline
+// subtracts a committed findings file so CI fails only on new findings
+// (matched by analyzer+file+message, line-insensitive); -write-baseline
+// records the current findings as that file. Exit status is 1 when any
+// non-baselined diagnostic survives //lint:ignore suppression.
 package main
 
 import (
@@ -26,7 +35,15 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	format := flag.String("format", "text", "output format: text or json")
+	baseline := flag.String("baseline", "", "baseline findings file to subtract (fail only on new findings)")
+	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
 	flag.Parse()
+
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "astream-vet: unknown format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	root, err := moduleRoot()
 	if err != nil {
@@ -73,15 +90,47 @@ func main() {
 	}
 
 	diags := lint.Run(pkgs, analyzers)
-	for _, d := range diags {
-		rel, err := filepath.Rel(root, d.Pos.Filename)
+	report := lint.NewReport(root, diags)
+
+	if *writeBaseline != "" {
+		b, err := report.WriteJSON()
 		if err != nil {
-			rel = d.Pos.Filename
+			fmt.Fprintln(os.Stderr, "astream-vet:", err)
+			os.Exit(2)
 		}
-		fmt.Printf("%s:%d:%d: %s: %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		if err := os.WriteFile(*writeBaseline, b, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "astream-vet:", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "astream-vet: wrote %d finding(s) to %s\n", len(report.Findings), *writeBaseline)
+		return
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "astream-vet: %d problem(s)\n", len(diags))
+
+	findings := report.Findings
+	if *baseline != "" {
+		base, err := lint.LoadBaseline(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astream-vet:", err)
+			os.Exit(2)
+		}
+		findings = report.Subtract(base)
+	}
+
+	if *format == "json" {
+		out := lint.Report{Version: lint.ReportVersion, Findings: findings}
+		b, err := out.WriteJSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "astream-vet:", err)
+			os.Exit(2)
+		}
+		os.Stdout.Write(b)
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d:%d: %s: %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "astream-vet: %d problem(s)\n", len(findings))
 		os.Exit(1)
 	}
 }

@@ -190,6 +190,7 @@ func (e *Engine) Submit(q *core.Query, sink core.Sink) (int, <-chan struct{}, er
 		return 0, nil, fmt.Errorf("baseline: engine stopped")
 	}
 	// Savepoint: drain every running topology before changing the set.
+	//lint:ignore lockheld-send stop-the-world by design; topology workers drain these channels without taking e.world
 	e.drainAllLocked()
 
 	id := int(atomic.AddInt64(&e.nextID, 1))
@@ -219,11 +220,13 @@ func (e *Engine) StopQuery(id int) (<-chan struct{}, error) {
 	if !ok {
 		return nil, fmt.Errorf("baseline: query %d not running", id)
 	}
+	//lint:ignore lockheld-send stop-the-world by design; topology workers drain these channels without taking e.world
 	e.drainAllLocked()
 	delete(e.jobs, id)
 	// Stop semantics match the shared engine's event-time deletion: windows
 	// ending at or before the stop time (one past the latest ingested
 	// event) fire; later windows are discarded.
+	//lint:ignore lockheld-send topology workers drain these channels without taking e.world
 	jb.finishAt(jb.maxLast() + 1)
 	e.recMu.Lock()
 	e.records = append(e.records, core.DeployRecord{QueryID: id, Create: false, Latency: time.Since(start)})
@@ -305,12 +308,14 @@ func (e *Engine) Ingest(stream int, t event.Tuple) error {
 		if stream >= jb.q.Arity {
 			continue
 		}
+		//lint:ignore lockheld-send read lock only orders against redeploys; topology workers drain these channels without taking e.world
 		jb.scs[stream].EmitTuple(t)
 		if t.Time > jb.lastTime[stream] {
 			jb.lastTime[stream] = t.Time
 		}
 		wm := jb.lastTime[stream] - e.cfg.Lateness
 		if wm >= jb.lastWM[stream]+e.cfg.WatermarkEvery {
+			//lint:ignore lockheld-send read lock only orders against redeploys; topology workers drain these channels without taking e.world
 			jb.scs[stream].EmitWatermark(wm)
 			jb.lastWM[stream] = wm
 		}
@@ -327,6 +332,7 @@ func (e *Engine) Drain() {
 	}
 	e.stopped = true
 	for id, jb := range e.jobs {
+		//lint:ignore lockheld-send final teardown; topology workers drain these channels without taking e.world
 		jb.finishAt(jb.maxLast() + event.Time(atomic.LoadInt64(&e.maxHorizon))*2 + 2)
 		delete(e.jobs, id)
 	}

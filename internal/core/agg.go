@@ -26,6 +26,7 @@ type aggVal struct {
 }
 
 func newAggVal() *aggVal {
+	//lint:ignore hotalloc cold: runs once per first-seen (group, key) pair; steady state reuses pooled values
 	v := &aggVal{}
 	v.reset()
 	return v
@@ -133,10 +134,12 @@ func (a *aggQuery) spec() window.Spec {
 // insertSortedInt64 inserts v into ascending s, keeping it sorted (no-op if
 // already present).
 func insertSortedInt64(s []int64, v int64) []int64 {
+	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
 	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
 	if i < len(s) && s[i] == v {
 		return s
 	}
+	//lint:ignore hotalloc session path: sorted-times slice growth is amortized per new session element
 	s = append(s, 0)
 	copy(s[i+1:], s[i:])
 	s[i] = v
@@ -264,6 +267,7 @@ func filterOrdered(list []*aggQuery, gone func(*aggQuery) bool) []*aggQuery {
 
 // masksAt returns the mask table in effect at event-time t.
 func (a *SharedAggregation) masksAt(t event.Time) *maskVersion {
+	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
 	i := sort.Search(len(a.maskVersions), func(i int) bool { return a.maskVersions[i].from > t }) - 1
 	if i < 0 {
 		i = 0
@@ -366,6 +370,8 @@ func (a *SharedAggregation) putVal(v *aggVal) { a.valPool = append(a.valPool, v)
 // and session windows directly). Steady state allocates nothing: the masked
 // query-set lands in a scratch bitset, group lookup is key-scratch based, and
 // per-key partials come from the freelist.
+//
+//lint:hotpath
 func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 	mv := a.masksAt(t.Time)
 	// Selection queries: terminal, stateless, port 0 only.
@@ -418,6 +424,7 @@ func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 	}
 	g := sl.aggs.get(a.qsTmp)
 	if g == nil {
+		//lint:ignore hotalloc cold: runs once per first-seen query-set group per slice
 		g = &aggGroup{qs: a.qsTmp.Clone(), byKey: make(map[int64]*aggVal)}
 		sl.aggs.put(g.qs, g)
 	}
@@ -425,6 +432,7 @@ func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 	if v == nil {
 		v = a.getVal()
 		g.byKey[t.Key] = v
+		//lint:ignore hotalloc cold: runs once per first-seen key within a group
 		g.keys = append(g.keys, t.Key)
 	}
 	v.fold(&t)

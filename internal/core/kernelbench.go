@@ -63,6 +63,7 @@ func KernelBenchmarks() []KernelBench {
 				var out []event.JoinedTuple
 				// Warm the scratch index and the output capacity once.
 				js.join(a, b, mask, &out)
+				//lint:hotpath join kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						out = out[:0]
@@ -84,6 +85,7 @@ func KernelBenchmarks() []KernelBench {
 				}
 				sel.versions = []selVersion{{from: event.MinTime, entries: entries}}
 				em := &spe.Emitter{}
+				//lint:hotpath selection kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
@@ -97,6 +99,7 @@ func KernelBenchmarks() []KernelBench {
 				agg := benchAgg(64)
 				var qs bitset.Bits
 				em := &spe.Emitter{}
+				//lint:hotpath aggregation kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						qs.Reset()
@@ -125,6 +128,7 @@ func KernelBenchmarks() []KernelBench {
 				sel.versions = []selVersion{{from: event.MinTime, entries: entries}}
 				agg := benchAgg(64)
 				em := spe.NewChainedEmitter(agg, &spe.Emitter{})
+				//lint:hotpath fused chain kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
@@ -138,6 +142,7 @@ func KernelBenchmarks() []KernelBench {
 				a := bitset.FromIndexes(1, 3, 64, 90, 120)
 				b := bitset.FromIndexes(3, 64, 119, 120)
 				var dst bitset.Bits
+				//lint:hotpath bitset kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						a.AndInto(b, &dst)
@@ -152,6 +157,7 @@ func KernelBenchmarks() []KernelBench {
 				var n uint64
 				r.Register(7, SinkFunc(func(Result) { n++ }))
 				res := Result{QueryID: 7, Kind: KindSelection}
+				//lint:hotpath router kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						r.Deliver(res)

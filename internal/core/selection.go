@@ -82,6 +82,7 @@ func NewSharedSelection(stream int, lateness event.Time, m *OpMetrics) *SharedSe
 }
 
 func (s *SharedSelection) tableAt(t event.Time) *selVersion {
+	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
 	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].from > t }) - 1
 	if i < 0 {
 		i = 0
@@ -92,6 +93,8 @@ func (s *SharedSelection) tableAt(t event.Time) *selVersion {
 // OnTuple evaluates every active predicate and emits the tuple with its
 // query-set; tuples interesting to no query are dropped at the earliest
 // possible point.
+//
+//lint:hotpath
 func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
 	tick := s.metrics.start()
 	v := s.tableAt(t.Time)

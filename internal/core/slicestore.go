@@ -58,6 +58,7 @@ type qsIndex[G any] struct {
 }
 
 func newQSIndex[G any]() *qsIndex[G] {
+	//lint:ignore hotalloc cold: one index per slice payload, created when the slice first sees data
 	return &qsIndex[G]{byWord: make(map[uint64]*G), byStr: make(map[string]*G)}
 }
 
@@ -82,10 +83,13 @@ func (x *qsIndex[G]) put(qs bitset.Bits, g *G) {
 	} else {
 		x.byStr[k.S] = g
 	}
+	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
 	i := sort.Search(len(x.keys), func(i int) bool { return k.Less(x.keys[i]) })
+	//lint:ignore hotalloc cold: put runs once per distinct query-set group
 	x.keys = append(x.keys, bitset.Key{})
 	copy(x.keys[i+1:], x.keys[i:])
 	x.keys[i] = k
+	//lint:ignore hotalloc cold: put runs once per distinct query-set group
 	x.order = append(x.order, nil)
 	copy(x.order[i+1:], x.order[i:])
 	x.order[i] = g
@@ -122,17 +126,22 @@ func newSliceStore(mode StoreMode) *sliceStore {
 // Add inserts a tuple (saved once — no copies inside a slice, paper §3.2.2).
 // Steady state allocates nothing: group lookup is key-scratch based and the
 // per-group tuple append is amortized.
+//
+//lint:hotpath
 func (s *sliceStore) Add(t event.Tuple) {
 	s.count++
 	if !s.grouped {
+		//lint:ignore hotalloc list-mode store owns the tuples; growth is amortized over the slice's lifetime
 		s.list = append(s.list, t)
 		return
 	}
 	g := s.groups.get(t.QuerySet)
 	if g == nil {
+		//lint:ignore hotalloc cold: runs once per distinct query-set group per slice
 		g = &tupleGroup{qs: t.QuerySet.Clone()}
 		s.groups.put(g.qs, g)
 	}
+	//lint:ignore hotalloc per-group tuple storage; growth is amortized over the slice's lifetime
 	g.tuples = append(g.tuples, t)
 	if s.mode == StoreAdaptive && s.count >= minTuplesForSwitch &&
 		float64(s.count) < adaptiveSwitchThreshold*float64(s.groups.len()) {
@@ -176,8 +185,10 @@ func (s *sliceStore) degenerate() {
 	if !s.grouped {
 		return
 	}
+	//lint:ignore hotalloc marker transition: rebuilding the layout is a one-off O(n) event, not steady state
 	s.list = make([]event.Tuple, 0, s.count)
 	for _, g := range s.groups.order {
+		//lint:ignore hotalloc appends within the exact capacity reserved above
 		s.list = append(s.list, g.tuples...)
 	}
 	s.groups = nil
@@ -250,6 +261,8 @@ type joinScratch struct {
 // group-level query-set tests prune non-intersecting groups wholesale
 // (paper §3.1.4). Iteration follows the stores' canonical group order, so
 // result order is a pure function of the stored content.
+//
+//lint:hotpath
 func (js *joinScratch) join(a, b *sliceStore, mask bitset.Bits, out *[]event.JoinedTuple) {
 	if a.count == 0 || b.count == 0 || mask.IsEmpty() {
 		return
@@ -261,6 +274,7 @@ func (js *joinScratch) join(a, b *sliceStore, mask bitset.Bits, out *[]event.Joi
 		swapped = true
 	}
 	if js.heads == nil {
+		//lint:ignore hotalloc warm-up: the scratch hash index is built once and reused across joins
 		js.heads = make(map[int64]int32, build.count)
 	} else {
 		for k := range js.heads {
@@ -318,6 +332,7 @@ func (js *joinScratch) addEntry(t *event.Tuple, qs *bitset.Bits) {
 	if h, ok := js.heads[t.Key]; ok {
 		e.next = h
 	}
+	//lint:ignore hotalloc appends into scratch capacity retained across joins; grows only to the high-water mark
 	js.entries = append(js.entries, e)
 	js.heads[t.Key] = int32(len(js.entries) - 1)
 }
@@ -355,6 +370,7 @@ func (js *joinScratch) probeOne(pt *event.Tuple, pqs bitset.Bits, mask bitset.Bi
 		if right.IngestNanos > jt.IngestNanos {
 			jt.IngestNanos = right.IngestNanos
 		}
+		//lint:ignore hotalloc appends into the caller's reused output slice; grows only to the high-water mark
 		*out = append(*out, jt)
 	}
 }

@@ -29,6 +29,7 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 	return []*Analyzer{
 		NewWallclock(wallclockAllow),
 		NewLockHeldSend(),
+		NewHotAlloc(),
 		NewMapOrder(mapOrderScope),
 		NewLeakyGo(),
 		NewNakedAtomic(),

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Finding is the machine-readable form of one diagnostic, the unit of the
+// -format json output and of the checked-in baseline. The schema is
+// stable: tools (and the CI baseline diff) may rely on these exact fields.
+type Finding struct {
+	// Analyzer is the reporting analyzer's name.
+	Analyzer string `json:"analyzer"`
+	// File is the repo-relative, slash-separated path.
+	File string `json:"file"`
+	// Line and Col anchor the finding (1-based).
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Chain is the witness call chain for interprocedural findings,
+	// outermost first; empty for intraprocedural ones.
+	Chain []string `json:"chain,omitempty"`
+}
+
+// Report is the top-level -format json document.
+type Report struct {
+	// Version identifies the schema; bumped on incompatible change.
+	Version int `json:"version"`
+	// Findings are sorted by (file, line, col, analyzer).
+	Findings []Finding `json:"findings"`
+}
+
+// ReportVersion is the current Report schema version.
+const ReportVersion = 1
+
+// NewReport converts diagnostics into a Report with paths relativized
+// against root (left absolute when that fails).
+func NewReport(root string, diags []Diagnostic) Report {
+	fs := make([]Finding, 0, len(diags))
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+			file = rel
+		}
+		fs = append(fs, Finding{
+			Analyzer: d.Analyzer,
+			File:     filepath.ToSlash(file),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Message:  d.Message,
+			Chain:    d.Chain,
+		})
+	}
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return Report{Version: ReportVersion, Findings: fs}
+}
+
+// WriteJSON renders the report as indented JSON with a trailing newline
+// (stable output, friendly to diffing and committing).
+func (r Report) WriteJSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// LoadBaseline reads a committed Report from disk.
+func LoadBaseline(path string) (Report, error) {
+	var r Report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.Version != ReportVersion {
+		return r, fmt.Errorf("%s: baseline schema version %d, tool expects %d", path, r.Version, ReportVersion)
+	}
+	return r, nil
+}
+
+// baselineKey identifies a finding for baseline matching. Line and column
+// are deliberately excluded so unrelated edits that shift code do not
+// resurrect baselined findings; a finding is the same finding as long as
+// the analyzer, file, and message agree.
+func baselineKey(f Finding) string {
+	return f.Analyzer + "\x00" + f.File + "\x00" + f.Message
+}
+
+// Subtract returns the findings of r not covered by the baseline. Matching
+// is multiset: a baseline entry absorbs exactly one current finding, so a
+// duplicated regression still surfaces.
+func (r Report) Subtract(baseline Report) []Finding {
+	budget := map[string]int{}
+	for _, f := range baseline.Findings {
+		budget[baselineKey(f)]++
+	}
+	fresh := []Finding{} // non-nil: marshals as [] in -format json
+	for _, f := range r.Findings {
+		k := baselineKey(f)
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		fresh = append(fresh, f)
+	}
+	return fresh
+}

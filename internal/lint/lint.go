@@ -48,6 +48,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Chain is the call chain behind an interprocedural finding, outermost
+	// first (empty for intraprocedural findings). The human-readable Message
+	// already embeds it; Chain is the machine-readable copy for -format json.
+	Chain []string
 }
 
 // String renders the diagnostic in the conventional file:line:col form.
@@ -55,7 +59,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }
 
-// Analyzer is one pluggable invariant check.
+// Analyzer is one pluggable invariant check. Exactly one of Run and
+// RunModule is set: Run sees one package at a time; RunModule sees the
+// whole load at once with the shared call graph, which is what the
+// interprocedural analyzers (lockheld-send, hotalloc) need.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics and ignore directives.
 	Name string
@@ -64,6 +71,39 @@ type Analyzer struct {
 	// Run inspects a package and returns raw findings; suppression is
 	// applied by the framework afterwards.
 	Run func(p *Package) []Diagnostic
+	// RunModule inspects every loaded package at once, with access to the
+	// module call graph and function summaries.
+	RunModule func(m *Module) []Diagnostic
+}
+
+// Module is one whole analysis scope: every package of a load, plus the
+// lazily built call graph and per-function blocking summaries shared by
+// the interprocedural analyzers.
+type Module struct {
+	Pkgs []*Package
+
+	graph *CallGraph
+	sums  map[*CGNode]*BlockSummary
+}
+
+// NewModule wraps a set of loaded packages into one analysis scope.
+func NewModule(pkgs []*Package) *Module { return &Module{Pkgs: pkgs} }
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *CallGraph {
+	if m.graph == nil {
+		m.graph = BuildCallGraph(m.Pkgs)
+	}
+	return m.graph
+}
+
+// BlockSummaries returns the per-function may-block summaries, computing
+// them on first use.
+func (m *Module) BlockSummaries() map[*CGNode]*BlockSummary {
+	if m.sums == nil {
+		m.sums = ComputeBlockSummaries(m.Graph())
+	}
+	return m.sums
 }
 
 // Diag builds a Diagnostic for the analyzer at pos.
@@ -155,16 +195,33 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 
 // Run executes every analyzer over every package, applies //lint:ignore
 // suppression, and returns the surviving diagnostics in file/line order.
+// Module analyzers (RunModule) execute once over the whole load.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var out []Diagnostic
+	var allDirs []ignoreDirective
 	for _, p := range pkgs {
 		dirs, bad := collectIgnores(p)
 		out = append(out, bad...)
+		allDirs = append(allDirs, dirs...)
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			for _, d := range a.Run(p) {
 				if !suppressed(d, dirs) {
 					out = append(out, d)
 				}
+			}
+		}
+	}
+	mod := NewModule(pkgs)
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		for _, d := range a.RunModule(mod) {
+			if !suppressed(d, allDirs) {
+				out = append(out, d)
 			}
 		}
 	}

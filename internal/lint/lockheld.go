@@ -4,59 +4,79 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
+	"strings"
 )
 
 // NewLockHeldSend builds the lock-discipline analyzer: it flags channel
-// sends, blocking receives, and blocking selects performed while a
-// sync.Mutex or sync.RWMutex is held. In a bounded-channel engine this is
-// the classic deadlock shape — the send backpressures, the lock never
-// releases, and every goroutine needing the lock wedges behind it (cf.
-// STRETCH's shared-window lock discipline). The scan is flow-sensitive
-// within one function: branches are explored with a copy of the lock
-// state, closures are analyzed independently with an empty state, and a
-// deferred Unlock keeps the lock held to the end of the function.
+// sends, blocking receives, blocking selects — and, interprocedurally,
+// calls to functions whose BlockSummary says they may block — performed
+// while a sync.Mutex or sync.RWMutex is held. In a bounded-channel engine
+// this is the classic deadlock shape: the send backpressures, the lock
+// never releases, and every goroutine needing the lock wedges behind it
+// (cf. STRETCH's shared-window lock discipline).
+//
+// The scan is flow-sensitive within one function body. Branches are
+// explored independently and their exit states joined may-held (a lock
+// held on any fall-through path stays tracked), with two precision rules
+// the naive clone-and-discard scheme gets wrong:
+//
+//   - a branch that terminates (return / panic / goto) contributes nothing
+//     to the post-branch state, so `if cond { mu.Unlock(); return }` does
+//     not leak a phantom release — and `mu.Lock(); if c { mu.Unlock() };
+//     send` is still flagged because the else path falls through held;
+//   - locks acquired or released inside a branch propagate to the join,
+//     so a release on every fall-through path really ends the held region
+//     (no over-extension) and an acquire inside a branch extends it (no
+//     under-extension).
+//
+// defer mu.Unlock() keeps the lock held to the end of the enclosing body,
+// including past early returns in later branches. A deferred call that may
+// block is flagged when a deferred unlock is already pending: deferred
+// calls run LIFO, so the blocker would run before the unlock.
+//
+// Function literals are analyzed independently with an empty lock state
+// (they run on their own schedule); calls with no static callee are
+// treated as non-blocking (bounded analysis).
 func NewLockHeldSend() *Analyzer {
 	a := &Analyzer{
 		Name: "lockheld-send",
-		Doc:  "flags channel sends and blocking receives while a sync.Mutex/RWMutex is held",
+		Doc:  "flags channel ops and calls to may-block functions while a sync.Mutex/RWMutex is held",
 	}
-	a.Run = func(p *Package) []Diagnostic {
+	a.RunModule = func(m *Module) []Diagnostic {
+		g := m.Graph()
+		sums := m.BlockSummaries()
 		var diags []Diagnostic
-		report := func(pos token.Pos, format string, args ...any) {
-			diags = append(diags, a.Diag(p, pos, format, args...))
+		for _, n := range g.Nodes {
+			s := &lockScan{
+				node:  n,
+				pkg:   n.Pkg,
+				graph: g,
+				sums:  sums,
+				held:  map[string]token.Pos{},
+				defUn: map[string]bool{},
+				report: func(pos token.Pos, chain []string, format string, args ...any) {
+					d := a.Diag(n.Pkg, pos, format, args...)
+					d.Chain = chain
+					diags = append(diags, d)
+				},
+			}
+			s.block(n.Body)
 		}
-		forEachFunc(p, func(body *ast.BlockStmt) {
-			s := &lockScan{pkg: p, held: map[string]token.Pos{}, report: report}
-			s.block(body)
-		})
 		return diags
 	}
 	return a
 }
 
-// forEachFunc visits the body of every function and function literal in
-// the package, each exactly once.
-func forEachFunc(p *Package, fn func(body *ast.BlockStmt)) {
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					fn(n.Body)
-				}
-			case *ast.FuncLit:
-				fn(n.Body)
-			}
-			return true
-		})
-	}
-}
-
 // lockScan walks one function body tracking which mutexes are held.
 type lockScan struct {
+	node   *CGNode
 	pkg    *Package
+	graph  *CallGraph
+	sums   map[*CGNode]*BlockSummary
 	held   map[string]token.Pos // lock expr → acquisition position
-	report func(pos token.Pos, format string, args ...any)
+	defUn  map[string]bool      // locks with a pending deferred unlock
+	report func(pos token.Pos, chain []string, format string, args ...any)
 }
 
 // clone copies the scan state for a branch.
@@ -65,19 +85,54 @@ func (s *lockScan) clone() *lockScan {
 	for k, v := range s.held {
 		held[k] = v
 	}
-	return &lockScan{pkg: s.pkg, held: held, report: s.report}
+	defUn := make(map[string]bool, len(s.defUn))
+	for k := range s.defUn {
+		defUn[k] = true
+	}
+	return &lockScan{
+		node: s.node, pkg: s.pkg, graph: s.graph, sums: s.sums,
+		held: held, defUn: defUn, report: s.report,
+	}
 }
 
-// anyHeld returns the render of one held lock ("" when none).
-func (s *lockScan) anyHeld() string {
-	for k := range s.held {
-		return k
+// join merges the exit states of the branches that fall through: a lock is
+// held after the branch point when any fall-through path holds it
+// (may-held — the analyzer reports possible deadlocks).
+func (s *lockScan) join(exits []*lockScan) {
+	held := map[string]token.Pos{}
+	defUn := map[string]bool{}
+	for _, e := range exits {
+		for k, v := range e.held {
+			if _, ok := held[k]; !ok {
+				held[k] = v
+			}
+		}
+		for k := range e.defUn {
+			defUn[k] = true
+		}
 	}
-	return ""
+	s.held = held
+	s.defUn = defUn
+}
+
+// anyHeld returns the render of one held lock ("" when none); ties break
+// lexicographically so messages are deterministic.
+func (s *lockScan) anyHeld() string {
+	if len(s.held) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys[0]
 }
 
 // syncLockCall classifies a call as a sync Lock/Unlock method; it returns
-// the rendered receiver and the method name, or ok=false.
+// the rendered receiver and the method name, or ok=false. RLock/RUnlock
+// (sync.RWMutex read locks) count: a read-locked send still deadlocks
+// against any writer waiting behind it.
 func syncLockCall(p *Package, call *ast.CallExpr) (recv, method string, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
@@ -95,13 +150,34 @@ func syncLockCall(p *Package, call *ast.CallExpr) (recv, method string, ok bool)
 	return "", "", false
 }
 
-func (s *lockScan) block(b *ast.BlockStmt) {
+// block scans a statement list; it reports whether control cannot fall out
+// of the end (the list terminates in return/panic/goto).
+func (s *lockScan) block(b *ast.BlockStmt) bool {
 	for _, st := range b.List {
-		s.stmt(st)
+		if s.stmt(st) {
+			return true
+		}
 	}
+	return false
 }
 
-func (s *lockScan) stmt(st ast.Stmt) {
+// isPanicCall reports whether e is a call to the panic builtin.
+func isPanicCall(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isBuiltin := p.Info.Uses[id].(*types.Builtin)
+	return isBuiltin && id.Name == "panic"
+}
+
+// stmt scans one statement; the return value reports termination (control
+// cannot reach the next statement).
+func (s *lockScan) stmt(st ast.Stmt) bool {
 	switch st := st.(type) {
 	case *ast.ExprStmt:
 		if call, ok := st.X.(*ast.CallExpr); ok {
@@ -111,32 +187,51 @@ func (s *lockScan) stmt(st ast.Stmt) {
 					s.held[recv] = call.Pos()
 				case "Unlock", "RUnlock":
 					delete(s.held, recv)
+					delete(s.defUn, recv)
 				}
-				return
+				return false
 			}
 		}
 		s.expr(st.X)
+		return isPanicCall(s.pkg, st.X)
 	case *ast.DeferStmt:
-		if _, _, ok := syncLockCall(s.pkg, st.Call); ok {
-			// defer x.Unlock() holds the lock to function end: the held
-			// entry simply stays.
-			return
+		if recv, method, ok := syncLockCall(s.pkg, st.Call); ok {
+			if method == "Unlock" || method == "RUnlock" {
+				// defer x.Unlock() holds the lock to the end of the
+				// function: the held entry stays, and later deferred
+				// blocking calls are now dangerous (LIFO order).
+				s.defUn[recv] = true
+			}
+			return false
 		}
 		for _, arg := range st.Call.Args {
 			s.expr(arg)
 		}
+		if len(s.defUn) > 0 {
+			if callee, _ := s.graph.resolveCall(s.pkg, st.Call); callee != nil {
+				if sum := s.sums[callee]; sum != nil && sum.Blocks {
+					chain, desc, site := BlockChain(callee, s.sums)
+					s.report(st.Call.Pos(), chain,
+						"deferred call to %s runs before the deferred %s.Unlock and may block (%s; %s at %s); unlock explicitly before deferring it",
+						callee.DisplayName(), s.anyDeferred(), strings.Join(chain, " → "), desc, chainSite(site))
+				}
+			}
+		}
+		return false
 	case *ast.GoStmt:
 		// The goroutine body runs later without our locks; arguments are
 		// evaluated now.
 		for _, arg := range st.Call.Args {
 			s.expr(arg)
 		}
+		return false
 	case *ast.SendStmt:
 		if lock := s.anyHeld(); lock != "" {
-			s.report(st.Arrow, "channel send while %s is held can deadlock the engine; release the lock first", lock)
+			s.report(st.Arrow, nil, "channel send while %s is held can deadlock the engine; release the lock first", lock)
 		}
 		s.expr(st.Chan)
 		s.expr(st.Value)
+		return false
 	case *ast.AssignStmt:
 		for _, e := range st.Rhs {
 			s.expr(e)
@@ -144,6 +239,7 @@ func (s *lockScan) stmt(st ast.Stmt) {
 		for _, e := range st.Lhs {
 			s.expr(e)
 		}
+		return false
 	case *ast.DeclStmt:
 		if gd, ok := st.Decl.(*ast.GenDecl); ok {
 			for _, spec := range gd.Specs {
@@ -154,19 +250,42 @@ func (s *lockScan) stmt(st ast.Stmt) {
 				}
 			}
 		}
+		return false
 	case *ast.ReturnStmt:
 		for _, e := range st.Results {
 			s.expr(e)
 		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue leave the enclosing construct with the current
+		// state; treating them as non-terminating keeps their exit state
+		// in the may-held join. goto is treated as terminating.
+		return st.Tok == token.GOTO
 	case *ast.IfStmt:
 		if st.Init != nil {
 			s.stmt(st.Init)
 		}
 		s.expr(st.Cond)
-		s.clone().block(st.Body)
-		if st.Else != nil {
-			s.clone().stmt(st.Else)
+		then := s.clone()
+		thenTerm := then.block(st.Body)
+		var exits []*lockScan
+		if !thenTerm {
+			exits = append(exits, then)
 		}
+		if st.Else != nil {
+			els := s.clone()
+			elseTerm := els.stmt(st.Else)
+			if !elseTerm {
+				exits = append(exits, els)
+			}
+			if thenTerm && elseTerm {
+				return true
+			}
+		} else {
+			exits = append(exits, s.clone()) // condition false: state unchanged
+		}
+		s.join(exits)
+		return false
 	case *ast.ForStmt:
 		if st.Init != nil {
 			s.stmt(st.Init)
@@ -174,17 +293,31 @@ func (s *lockScan) stmt(st ast.Stmt) {
 		if st.Cond != nil {
 			s.expr(st.Cond)
 		}
-		s.clone().block(st.Body)
+		body := s.clone()
+		bodyTerm := body.block(st.Body)
+		exits := []*lockScan{s.clone()} // zero iterations
+		if !bodyTerm {
+			exits = append(exits, body)
+		}
+		s.join(exits)
+		return false
 	case *ast.RangeStmt:
 		s.expr(st.X)
 		if lock := s.anyHeld(); lock != "" {
 			if t := s.pkg.Info.Types[st.X].Type; t != nil {
 				if _, isChan := t.Underlying().(*types.Chan); isChan {
-					s.report(st.For, "range over channel while %s is held blocks between receives; release the lock first", lock)
+					s.report(st.For, nil, "range over channel while %s is held blocks between receives; release the lock first", lock)
 				}
 			}
 		}
-		s.clone().block(st.Body)
+		body := s.clone()
+		bodyTerm := body.block(st.Body)
+		exits := []*lockScan{s.clone()}
+		if !bodyTerm {
+			exits = append(exits, body)
+		}
+		s.join(exits)
+		return false
 	case *ast.SwitchStmt:
 		if st.Init != nil {
 			s.stmt(st.Init)
@@ -192,23 +325,12 @@ func (s *lockScan) stmt(st ast.Stmt) {
 		if st.Tag != nil {
 			s.expr(st.Tag)
 		}
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				br := s.clone()
-				for _, b := range cc.Body {
-					br.stmt(b)
-				}
-			}
-		}
+		return s.caseBodies(st.Body, hasDefaultCase(st.Body))
 	case *ast.TypeSwitchStmt:
-		for _, c := range st.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				br := s.clone()
-				for _, b := range cc.Body {
-					br.stmt(b)
-				}
-			}
+		if st.Init != nil {
+			s.stmt(st.Init)
 		}
+		return s.caseBodies(st.Body, hasDefaultCase(st.Body))
 	case *ast.SelectStmt:
 		hasDefault := false
 		for _, c := range st.Body.List {
@@ -217,27 +339,99 @@ func (s *lockScan) stmt(st ast.Stmt) {
 			}
 		}
 		if lock := s.anyHeld(); lock != "" && !hasDefault {
-			s.report(st.Select, "select with no default blocks while %s is held; release the lock first", lock)
+			s.report(st.Select, nil, "select with no default blocks while %s is held; release the lock first", lock)
 		}
+		var exits []*lockScan
 		for _, c := range st.Body.List {
 			if cc, ok := c.(*ast.CommClause); ok {
 				br := s.clone()
+				term := false
 				for _, b := range cc.Body {
-					br.stmt(b)
+					if term = br.stmt(b); term {
+						break
+					}
+				}
+				if !term {
+					exits = append(exits, br)
 				}
 			}
 		}
+		if len(exits) == 0 && len(st.Body.List) > 0 {
+			return true
+		}
+		s.join(exits)
+		return false
 	case *ast.BlockStmt:
-		s.block(st)
+		return s.block(st)
 	case *ast.LabeledStmt:
-		s.stmt(st.Stmt)
+		return s.stmt(st.Stmt)
 	case *ast.IncDecStmt:
 		s.expr(st.X)
+		return false
 	}
+	return false
 }
 
-// expr flags blocking receives inside an expression while locked; nested
-// function literals are opaque (they run with their own lock state).
+// caseBodies explores switch clauses with cloned states and joins the
+// fall-out states; without a default clause the pre-switch state also
+// falls through.
+func (s *lockScan) caseBodies(body *ast.BlockStmt, hasDefault bool) bool {
+	var exits []*lockScan
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		br := s.clone()
+		for _, e := range cc.List {
+			br.expr(e)
+		}
+		term := false
+		for _, b := range cc.Body {
+			if term = br.stmt(b); term {
+				break
+			}
+		}
+		if !term {
+			exits = append(exits, br)
+		}
+	}
+	if !hasDefault {
+		exits = append(exits, s.clone())
+	}
+	if len(exits) == 0 {
+		return true
+	}
+	s.join(exits)
+	return false
+}
+
+func hasDefaultCase(body *ast.BlockStmt) bool {
+	for _, c := range body.List {
+		if cc, ok := c.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// anyDeferred returns one lock with a pending deferred unlock
+// (deterministic).
+func (s *lockScan) anyDeferred() string {
+	keys := make([]string, 0, len(s.defUn))
+	for k := range s.defUn {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return ""
+	}
+	return keys[0]
+}
+
+// expr flags blocking receives — and calls to may-block functions — inside
+// an expression while locked; nested function literals are opaque (they
+// run with their own lock state).
 func (s *lockScan) expr(e ast.Expr) {
 	if e == nil {
 		return
@@ -249,10 +443,55 @@ func (s *lockScan) expr(e ast.Expr) {
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
 				if lock := s.anyHeld(); lock != "" {
-					s.report(n.OpPos, "blocking channel receive while %s is held can deadlock the engine; release the lock first", lock)
+					s.report(n.OpPos, nil, "blocking channel receive while %s is held can deadlock the engine; release the lock first", lock)
 				}
 			}
+		case *ast.CallExpr:
+			s.checkCall(n)
 		}
 		return true
 	})
+}
+
+// checkCall consults the callee's blocking summary: a call that may block
+// while a lock is held is the interprocedural form of the lock-held send,
+// reported with the full witness call chain.
+func (s *lockScan) checkCall(call *ast.CallExpr) {
+	lock := s.anyHeld()
+	if lock == "" {
+		return
+	}
+	if _, _, isSync := syncLockCall(s.pkg, call); isSync {
+		return
+	}
+	callee, _ := s.graph.resolveCall(s.pkg, call)
+	if callee == nil {
+		return // unknown or external callee: bounded, no finding
+	}
+	sum := s.sums[callee]
+	if sum == nil || !sum.Blocks {
+		return
+	}
+	chain, desc, site := BlockChain(callee, s.sums)
+	s.report(call.Pos(), chain,
+		"call to %s while %s is held may block (%s; %s at %s) and can deadlock the engine; release the lock first",
+		callee.DisplayName(), lock, strings.Join(chain, " → "), desc, chainSite(site))
+}
+
+// forEachFunc visits the body of every function and function literal in
+// the package, each exactly once (used by the per-package analyzers).
+func forEachFunc(p *Package, fn func(body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n.Body)
+				}
+			case *ast.FuncLit:
+				fn(n.Body)
+			}
+			return true
+		})
+	}
 }

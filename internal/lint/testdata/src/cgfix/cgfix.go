@@ -1,0 +1,34 @@
+// Package cgfix is the call-graph construction fixture: one example of
+// each resolution shape (direct call, pointer/value method, generic
+// instantiation, immediately invoked literal, go/defer kinds, unknown
+// callees through function values and interface dispatch).
+package cgfix
+
+type box struct{ n int }
+
+func (b *box) bump() { b.n++ }
+
+func (b box) get() int { return b.n }
+
+func idf[T any](v T) T { return v }
+
+func leaf() {}
+
+func root() {
+	b := &box{}
+	b.bump()
+	_ = b.get()
+	_ = idf(7)
+	func() { leaf() }()
+	go leaf()
+	defer leaf()
+	var f func()
+	f = leaf
+	f()
+}
+
+type iface interface{ m() }
+
+func dyn(i iface) { i.m() }
+
+func chain() { root() }

@@ -25,5 +25,5 @@ func wrongAnalyzer() int64 {
 
 func missingReason() int64 {
 	/* want "directive is missing a reason" */ //lint:ignore wallclock
-	return time.Now().UnixNano() // want "time\.Now reads the wall clock"
+	return time.Now().UnixNano()               // want "time\.Now reads the wall clock"
 }

@@ -75,3 +75,86 @@ func (e *engine) goodBranchReleases(in chan int, fast bool) {
 	}
 	e.mu.Unlock()
 }
+
+// Over-extension regression: every fall-through branch releases, so the
+// held region ends at the join and the send is clean.
+func (e *engine) goodAllBranchesRelease(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+	} else {
+		e.mu.Unlock()
+	}
+	e.out <- 1
+}
+
+// Under-extension regression: a lock acquired inside a branch may still be
+// held at the join (may-held union).
+func (e *engine) badBranchAcquires(cond bool) {
+	if cond {
+		e.mu.Lock()
+	}
+	e.out <- 1 // want "channel send while e\.mu is held"
+	if cond {
+		e.mu.Unlock()
+	}
+}
+
+// A terminated branch contributes nothing to the join: the early-return
+// path's unlock must not leak into the fall-through state.
+func (e *engine) badTerminatedBranchRelease(fast bool) {
+	e.mu.Lock()
+	if fast {
+		e.mu.Unlock()
+		return
+	}
+	e.out <- 1 // want "channel send while e\.mu is held"
+	e.mu.Unlock()
+}
+
+// defer mu.Unlock() keeps the lock held past later early-return branches.
+func (e *engine) badDeferHoldsThroughBranches(fast bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if fast {
+		return
+	}
+	e.out <- 1 // want "channel send while e\.mu is held"
+}
+
+// RWMutex read-lock variant of the early-return shape: both paths release
+// before their channel op, so neither send is flagged.
+func (t *table) goodDeferEarlyReturn(cond bool) {
+	t.rw.RLock()
+	if cond {
+		t.rw.RUnlock()
+		t.sink <- "fast"
+		return
+	}
+	t.rw.RUnlock()
+	t.sink <- "slow"
+}
+
+// Switch clauses join like if branches: every case releases, and the
+// missing default means the pre-switch (held) state also falls through.
+func (e *engine) badSwitchNoDefault(k int) {
+	e.mu.Lock()
+	switch k {
+	case 0:
+		e.mu.Unlock()
+	case 1:
+		e.mu.Unlock()
+	}
+	e.out <- 1 // want "channel send while e\.mu is held"
+}
+
+func (e *engine) goodSwitchAllRelease(k int) {
+	e.mu.Lock()
+	switch k {
+	case 0:
+		e.mu.Unlock()
+	default:
+		e.mu.Unlock()
+	}
+	e.out <- 1
+}

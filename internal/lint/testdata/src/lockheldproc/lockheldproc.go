@@ -1,0 +1,127 @@
+// Package lockheldproc is a lint fixture for the interprocedural half of
+// lockheld-send: calls to helpers that (transitively) block on a channel
+// while a mutex is held must be flagged with the witness call chain;
+// bounded cases — function values, interface methods, goroutine launches,
+// select-default helpers — must stay silent.
+package lockheldproc
+
+import "sync"
+
+type node struct {
+	mu  sync.Mutex
+	out chan int
+}
+
+// send blocks directly; it is clean on its own (no lock held here).
+func (n *node) send() { n.out <- 1 }
+
+// forward blocks one hop away, forward2 two hops away.
+func (n *node) forward()  { n.send() }
+func (n *node) forward2() { n.forward() }
+
+func (n *node) badDirectHelper() {
+	n.mu.Lock()
+	n.send() // want "call to \(\*node\)\.send while n\.mu is held may block"
+	n.mu.Unlock()
+}
+
+func (n *node) badOneHop() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.forward() // want "call to \(\*node\)\.forward while n\.mu is held may block \(\(\*node\)\.forward → \(\*node\)\.send; channel send at lockheldproc\.go:16\)"
+}
+
+func (n *node) badTwoHop() {
+	n.mu.Lock()
+	n.forward2() // want "\(\(\*node\)\.forward2 → \(\*node\)\.forward → \(\*node\)\.send; channel send at lockheldproc\.go:16\)"
+	n.mu.Unlock()
+}
+
+// pump blocks and recurses; the fixpoint must converge and still flag it.
+func (n *node) pump(k int) {
+	if k <= 0 {
+		return
+	}
+	n.out <- k
+	n.pump(k - 1)
+}
+
+func (n *node) badRecursive() {
+	n.mu.Lock()
+	n.pump(3) // want "call to \(\*node\)\.pump while n\.mu is held may block"
+	n.mu.Unlock()
+}
+
+// Mutual recursion with no blocking op anywhere converges to non-blocking.
+func (n *node) ping(k int) {
+	if k > 0 {
+		n.pong(k - 1)
+	}
+}
+
+func (n *node) pong(k int) {
+	if k > 0 {
+		n.ping(k - 1)
+	}
+}
+
+func (n *node) goodMutualRecursion() {
+	n.mu.Lock()
+	n.ping(8)
+	n.mu.Unlock()
+}
+
+// Unknown callees are bounded: a function value is never followed, even
+// when the value obviously blocks.
+func (n *node) goodFuncValue(f func()) {
+	n.mu.Lock()
+	f()
+	n.mu.Unlock()
+}
+
+type sender interface{ Send() }
+
+// Interface dispatch is bounded the same way.
+func (n *node) goodInterface(s sender) {
+	n.mu.Lock()
+	s.Send()
+	n.mu.Unlock()
+}
+
+// A goroutine launch cannot block the caller; the lock is irrelevant to it.
+func (n *node) goodGoHelper() {
+	n.mu.Lock()
+	go n.send()
+	n.mu.Unlock()
+}
+
+// A helper whose channel op is guarded by a select default never blocks.
+func (n *node) trySend() {
+	select {
+	case n.out <- 1:
+	default:
+	}
+}
+
+func (n *node) goodTrySend() {
+	n.mu.Lock()
+	n.trySend()
+	n.mu.Unlock()
+}
+
+// Deferred calls run LIFO: a blocking helper deferred after the deferred
+// unlock executes while the lock is still held.
+func (n *node) badDeferredBlocker() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	defer n.send() // want "deferred call to \(\*node\)\.send runs before the deferred n\.mu\.Unlock and may block"
+}
+
+// Releasing before the call keeps the helper clean no matter what it does.
+func (n *node) goodReleaseFirst() {
+	n.mu.Lock()
+	k := cap(n.out)
+	n.mu.Unlock()
+	n.forward2()
+	_ = k
+}

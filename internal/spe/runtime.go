@@ -64,6 +64,7 @@ func getBatch(n int) []event.Tuple {
 	if v := tupleBatchPool.Get(); v != nil {
 		return (*v.(*[]event.Tuple))[:0]
 	}
+	//lint:ignore hotalloc pool miss: batch buffers are pooled and reused after the first flush cycle
 	return make([]event.Tuple, 0, n)
 }
 
@@ -121,6 +122,8 @@ func NewChainedEmitter(next Logic, downstream *Emitter) *Emitter {
 }
 
 // EmitTuple routes a tuple downstream.
+//
+//lint:hotpath
 func (e *Emitter) EmitTuple(t event.Tuple) {
 	if e.direct != nil {
 		e.direct.logic.OnTuple(0, t, e.direct.out)
@@ -176,6 +179,7 @@ func (e *Emitter) append(tg *target, t event.Tuple) {
 		tg.buf = getBatch(tg.size)
 		e.pending++
 	}
+	//lint:ignore hotalloc appends within the batch buffer's pooled capacity; flushed before it would grow
 	tg.buf = append(tg.buf, t)
 	if len(tg.buf) >= tg.size {
 		e.flushTarget(tg)
@@ -211,6 +215,7 @@ func (e *Emitter) flushTarget(tg *target) {
 				if err != nil {
 					panic(fmt.Sprintf("spe: edge codec round-trip failed: %v", err))
 				}
+				//lint:ignore hotalloc cross-node codec path appends into a pooled buffer sized to the batch
 				dec = append(dec, el.Tuple)
 			}
 			putBatch(batch)
@@ -405,8 +410,10 @@ func (rt *instanceRT) finish() {
 	rt.emitter.broadcast(event.EOS())
 }
 
+//lint:hotpath
 func (rt *instanceRT) handle(msg message) {
 	if rt.aligning && rt.blocked[msg.sender] {
+		//lint:ignore hotalloc barrier alignment only: buffering happens while a checkpoint is in flight
 		rt.buffered = append(rt.buffered, msg)
 		return
 	}
