@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -23,8 +24,13 @@ import (
 	"testing"
 	"time"
 
+	"astream/internal/checkpoint"
 	"astream/internal/core"
+	"astream/internal/event"
 	"astream/internal/experiments"
+	"astream/internal/expr"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
 )
 
 func main() {
@@ -33,7 +39,7 @@ func main() {
 	measure := flag.Duration("measure", 700*time.Millisecond, "measurement window per run")
 	nodesFlag := flag.String("nodes", "4,8", "comma-separated simulated node counts")
 	maxQ := flag.Int("maxq", 256, "maximum query parallelism for fig17")
-	jsonDir := flag.String("json", "", "write BENCH_kernels.json and BENCH_figs.json into this directory and exit")
+	jsonDir := flag.String("json", "", "write BENCH_kernels.json, BENCH_recovery.json, and BENCH_figs.json into this directory and exit")
 	flag.Parse()
 
 	sc := experiments.Scale{Warmup: *warmup, Measure: *measure}
@@ -195,6 +201,17 @@ func writeJSON(dir string, sc experiments.Scale, nodes []int) error {
 		return err
 	}
 
+	recov, err := benchRecovery()
+	if err != nil {
+		return fmt.Errorf("recovery benchmark: %w", err)
+	}
+	fmt.Printf("recovery: snapshot+suffix %8.2fms  full replay %8.2fms  speedup %.1fx (%d/%d records replayed)\n",
+		float64(recov.SnapshotRestoreNanos)/1e6, float64(recov.FullReplayNanos)/1e6,
+		recov.Speedup, recov.SuffixRecords, recov.LogRecords)
+	if err := writeFileJSON(filepath.Join(dir, "BENCH_recovery.json"), recov); err != nil {
+		return err
+	}
+
 	fig9 := experiments.Fig9SC1Throughput(sc, nodes)
 	fig1112 := experiments.Fig11And12SC1Latencies(sc, nodes)
 	fmt.Printf("fig9_sc1_throughput: %d measurements\n", len(fig9))
@@ -204,6 +221,146 @@ func writeJSON(dir string, sc experiments.Scale, nodes []int) error {
 		"fig11_12_sc1_latency": fig1112,
 	}
 	return writeFileJSON(filepath.Join(dir, "BENCH_figs.json"), figs)
+}
+
+// recoveryResult is BENCH_recovery.json: the cost of recovering the same
+// crashed job two ways. Snapshot-based recovery restores every operator
+// from the latest completed checkpoint and replays only the log suffix past
+// it; full-log replay rebuilds the job from record zero. The suffix path's
+// cost is proportional to the checkpoint interval, the full path's to job
+// lifetime — the speedup grows with log length.
+type recoveryResult struct {
+	Checkpoints          int     `json:"checkpoints"`
+	LogRecords           int     `json:"log_records"`
+	SuffixRecords        int     `json:"suffix_records"`
+	SnapshotRestoreNanos int64   `json:"snapshot_restore_nanos"`
+	FullReplayNanos      int64   `json:"full_replay_nanos"`
+	Speedup              float64 `json:"speedup"`
+}
+
+// benchRecovery runs a deterministic logged workload (shared aggregation +
+// shared join, 20 checkpoints, a short uncheckpointed tail), crashes it, and
+// times RecoverFromStore against full-log Recover from the identical crash
+// state. Both recoveries must commit identical output or the measurement is
+// meaningless, so any divergence is an error.
+func benchRecovery() (recoveryResult, error) {
+	const (
+		checkpoints  = 20
+		ticksPerCkpt = 50 // two streams each tick
+		tailTicks    = 25 // ingested after the last checkpoint, lost by the crash
+		reps         = 3
+	)
+	cfg := core.Config{
+		Streams: 2, Parallelism: 2, Nodes: 2, WatermarkEvery: 1,
+		NowNanos: func() int64 { return 1 },
+	}
+	log := &checkpoint.Log{}
+	store := checkpoint.NewSnapshotStore()
+	r, err := checkpoint.NewRunnerWithStore(cfg, log, checkpoint.NewTxSink(), store)
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	queries := []*core.Query{
+		{Kind: core.KindAggregation, Arity: 1,
+			Predicates: []expr.Predicate{expr.True().And(expr.Comparison{Field: 0, Op: expr.GT, Value: 20})},
+			Window:     window.TumblingSpec(10), Agg: sqlstream.AggSum, AggField: 1},
+		{Kind: core.KindJoin, Arity: 2,
+			Predicates: []expr.Predicate{expr.True(), expr.True()},
+			Window:     window.TumblingSpec(8), AggField: -1},
+	}
+	for _, q := range queries {
+		if err := r.Submit(q); err != nil {
+			return recoveryResult{}, err
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	now := event.Time(0)
+	tick := func() error {
+		now++
+		for s := 0; s < cfg.Streams; s++ {
+			tu := event.Tuple{Key: int64(rng.Intn(3)), Time: now}
+			for f := range tu.Fields {
+				tu.Fields[f] = int64(rng.Intn(100))
+			}
+			if err := r.Ingest(s, tu); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for p := 0; p < checkpoints; p++ {
+		for i := 0; i < ticksPerCkpt; i++ {
+			if err := tick(); err != nil {
+				return recoveryResult{}, err
+			}
+		}
+		if _, err := r.Checkpoint(); err != nil {
+			return recoveryResult{}, err
+		}
+	}
+	for i := 0; i < tailTicks; i++ {
+		if err := tick(); err != nil {
+			return recoveryResult{}, err
+		}
+	}
+	manifest := r.Manifest()
+	committed := r.Crash()
+	copyCommitted := func() map[uint64][]string {
+		c := make(map[uint64][]string, len(committed))
+		for k, v := range committed {
+			c[k] = append([]string(nil), v...)
+		}
+		return c
+	}
+	// Best-of-reps wall time for each path; the fresh TxSink and engine per
+	// rep make the reps independent, and RecoverFromStore leaves the store's
+	// completed checkpoint intact so it can be recovered from repeatedly.
+	measure := func(fromStore bool) (int64, []string, error) {
+		var best int64
+		var out []string
+		for rep := 0; rep < reps; rep++ {
+			start := time.Now()
+			var rec *checkpoint.Runner
+			var err error
+			if fromStore {
+				rec, err = checkpoint.RecoverFromStore(cfg, log, manifest, copyCommitted(), store)
+			} else {
+				rec, err = checkpoint.Recover(cfg, log, manifest, copyCommitted())
+			}
+			if err != nil {
+				return 0, nil, err
+			}
+			o := rec.FinishReplay()
+			if el := time.Since(start).Nanoseconds(); best == 0 || el < best {
+				best, out = el, o
+			}
+		}
+		return best, out, nil
+	}
+	fullNanos, fullOut, err := measure(false)
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	snapNanos, snapOut, err := measure(true)
+	if err != nil {
+		return recoveryResult{}, err
+	}
+	if len(snapOut) != len(fullOut) {
+		return recoveryResult{}, fmt.Errorf("recovery outputs diverge: %d vs %d results", len(snapOut), len(fullOut))
+	}
+	for i := range snapOut {
+		if snapOut[i] != fullOut[i] {
+			return recoveryResult{}, fmt.Errorf("recovery outputs diverge at result %d: %q vs %q", i, snapOut[i], fullOut[i])
+		}
+	}
+	return recoveryResult{
+		Checkpoints:          checkpoints,
+		LogRecords:           log.Len(),
+		SuffixRecords:        log.Len() - manifest.Offsets[checkpoints-1],
+		SnapshotRestoreNanos: snapNanos,
+		FullReplayNanos:      fullNanos,
+		Speedup:              float64(fullNanos) / float64(snapNanos),
+	}, nil
 }
 
 func writeFileJSON(path string, v any) error {

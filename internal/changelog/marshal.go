@@ -1,0 +1,277 @@
+package changelog
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"astream/internal/bitset"
+	"astream/internal/event"
+)
+
+// This file implements binary snapshots of the changelog data model for
+// checkpoint recovery (paper §3.3): a recovered operator must resume with
+// the exact slot table, changelog-set table, and sequence counters it held
+// at the barrier, or replayed changelogs would hit the runtime's gap check.
+//
+// The format mirrors internal/checkpoint's log encoding: little-endian
+// fixed-width integers, length-prefixed sequences, no framing. Snapshots
+// are written and read by the same build, so no cross-version migration is
+// attempted; a leading version byte still guards accidental misuse.
+
+const snapshotVersion = 1
+
+func appendU8(b []byte, v uint8) []byte { return append(b, v) }
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func appendU64(b []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(b, v)
+}
+
+func appendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func appendBits(b []byte, bits bitset.Bits) []byte {
+	words := bits.Words()
+	b = appendU32(b, uint32(len(words)))
+	for _, w := range words {
+		b = appendU64(b, w)
+	}
+	return b
+}
+
+// snapReader decodes the snapshot format, accumulating the first error so
+// call sites stay linear (same idiom as checkpoint.byteReader).
+type snapReader struct {
+	b   []byte
+	err error
+}
+
+func (r *snapReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("changelog: snapshot truncated reading %s", what)
+	}
+}
+
+func (r *snapReader) u8(what string) uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *snapReader) u32(what string) uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *snapReader) u64(what string) uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *snapReader) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *snapReader) bits(what string) bitset.Bits {
+	n := r.u32(what)
+	if r.err != nil || n > uint32(len(r.b)/8) {
+		r.fail(what)
+		return bitset.Bits{}
+	}
+	if n == 0 {
+		return bitset.Bits{}
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = r.u64(what)
+	}
+	return bitset.FromWords(words)
+}
+
+// AppendChangelog serializes one changelog onto b.
+func AppendChangelog(b []byte, cl *Changelog) []byte {
+	b = appendU64(b, cl.Seq)
+	b = appendI64(b, int64(cl.Time))
+	b = appendU32(b, uint32(cl.Slots))
+	b = appendU32(b, uint32(len(cl.Created)))
+	for _, a := range cl.Created {
+		b = appendI64(b, int64(a.Query))
+		b = appendU32(b, uint32(a.Slot))
+	}
+	b = appendU32(b, uint32(len(cl.Deleted)))
+	for _, a := range cl.Deleted {
+		b = appendI64(b, int64(a.Query))
+		b = appendU32(b, uint32(a.Slot))
+	}
+	b = appendBits(b, cl.Set)
+	b = appendBits(b, cl.Active)
+	return b
+}
+
+func readChangelog(r *snapReader) *Changelog {
+	cl := &Changelog{
+		Seq:   r.u64("changelog seq"),
+		Time:  event.Time(r.i64("changelog time")),
+		Slots: int(r.u32("changelog slots")),
+	}
+	nc := r.u32("created count")
+	if r.err != nil || nc > uint32(len(r.b)) {
+		r.fail("created count")
+		return cl
+	}
+	for i := uint32(0); i < nc; i++ {
+		cl.Created = append(cl.Created, Assignment{
+			Query: int(r.i64("created query")),
+			Slot:  int(r.u32("created slot")),
+		})
+	}
+	nd := r.u32("deleted count")
+	if r.err != nil || nd > uint32(len(r.b)) {
+		r.fail("deleted count")
+		return cl
+	}
+	for i := uint32(0); i < nd; i++ {
+		cl.Deleted = append(cl.Deleted, Assignment{
+			Query: int(r.i64("deleted query")),
+			Slot:  int(r.u32("deleted slot")),
+		})
+	}
+	cl.Set = r.bits("changelog set")
+	cl.Active = r.bits("changelog active")
+	return cl
+}
+
+// UnmarshalChangelog decodes one changelog produced by AppendChangelog and
+// returns the remaining bytes.
+func UnmarshalChangelog(b []byte) (*Changelog, []byte, error) {
+	r := &snapReader{b: b}
+	cl := readChangelog(r)
+	if r.err != nil {
+		return nil, nil, r.err
+	}
+	return cl, r.b, nil
+}
+
+// Snapshot serializes the table. Only the root row and the retained
+// changelogs are written: the remaining rows are a pure function of those
+// (Equation 1's recurrence), so TableFromSnapshot rebuilds them with Add,
+// which also re-verifies seq continuity.
+func (t *Table) Snapshot() []byte {
+	b := appendU8(nil, snapshotVersion)
+	b = appendU64(b, t.base)
+	b = appendU32(b, uint32(t.slots[0]))
+	b = appendU32(b, uint32(len(t.logs)))
+	for _, cl := range t.logs {
+		b = AppendChangelog(b, cl)
+	}
+	return b
+}
+
+// TableFromSnapshot reconstructs a table from Snapshot output.
+func TableFromSnapshot(b []byte) (*Table, error) {
+	r := &snapReader{b: b}
+	if v := r.u8("table version"); r.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("changelog: table snapshot version %d, want %d", v, snapshotVersion)
+	}
+	base := r.u64("table base")
+	rootSlots := int(r.u32("table root slots"))
+	n := r.u32("table log count")
+	if r.err != nil || n > uint32(len(r.b)) {
+		r.fail("table log count")
+		return nil, r.err
+	}
+	t := &Table{base: base}
+	t.rows = append(t.rows, []bitset.Bits{bitset.AllUpTo(rootSlots)})
+	t.slots = append(t.slots, rootSlots)
+	for i := uint32(0); i < n; i++ {
+		cl := readChangelog(r)
+		if r.err != nil {
+			return nil, r.err
+		}
+		if err := t.Add(cl); err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return t, nil
+}
+
+// Snapshot serializes the registry: mode, counters, the full slot table,
+// and the free-slot stack. The query→slot index is rebuilt on restore.
+func (r *Registry) Snapshot() []byte {
+	b := appendU8(nil, snapshotVersion)
+	b = appendU8(b, uint8(r.mode))
+	b = appendU64(b, r.seq)
+	b = appendI64(b, int64(r.lastAt))
+	started := uint8(0)
+	if r.started {
+		started = 1
+	}
+	b = appendU8(b, started)
+	b = appendU32(b, uint32(len(r.slots)))
+	for _, q := range r.slots {
+		b = appendI64(b, int64(q))
+	}
+	b = appendU32(b, uint32(len(r.free)))
+	for _, s := range r.free {
+		b = appendU32(b, uint32(s))
+	}
+	return b
+}
+
+// RegistryFromSnapshot reconstructs a registry from Snapshot output.
+func RegistryFromSnapshot(b []byte) (*Registry, error) {
+	rd := &snapReader{b: b}
+	if v := rd.u8("registry version"); rd.err == nil && v != snapshotVersion {
+		return nil, fmt.Errorf("changelog: registry snapshot version %d, want %d", v, snapshotVersion)
+	}
+	reg := &Registry{
+		mode:   Mode(rd.u8("registry mode")),
+		seq:    rd.u64("registry seq"),
+		lastAt: event.Time(rd.i64("registry lastAt")),
+		slotOf: make(map[int]int),
+	}
+	reg.started = rd.u8("registry started") == 1
+	ns := rd.u32("registry slot count")
+	if rd.err != nil || ns > uint32(len(rd.b)) {
+		rd.fail("registry slot count")
+		return nil, rd.err
+	}
+	for i := uint32(0); i < ns; i++ {
+		q := int(rd.i64("registry slot"))
+		reg.slots = append(reg.slots, q)
+		if q != NoQuery {
+			reg.slotOf[q] = int(i)
+		}
+	}
+	nf := rd.u32("registry free count")
+	if rd.err != nil || nf > uint32(len(rd.b)) {
+		rd.fail("registry free count")
+		return nil, rd.err
+	}
+	for i := uint32(0); i < nf; i++ {
+		reg.free = append(reg.free, int(rd.u32("registry free slot")))
+	}
+	if rd.err != nil {
+		return nil, rd.err
+	}
+	return reg, nil
+}

@@ -151,7 +151,9 @@ func driveWorkload(t *testing.T, r *Runner, crashAfterCheckpoint int) (committed
 				t.Fatal(err)
 			}
 		}
-		r.Checkpoint()
+		if _, err := r.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
 		ckpts++
 		if crashAfterCheckpoint > 0 && ckpts == crashAfterCheckpoint {
 			return r.Crash(), r.Manifest(), true
@@ -278,7 +280,10 @@ func TestCheckpointEpochBoundaries(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	id := r.Checkpoint()
+	id, err := r.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if id != 1 {
 		t.Fatalf("first barrier id = %d", id)
 	}

@@ -1,12 +1,14 @@
 package checkpoint
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"astream/internal/core"
 	"astream/internal/event"
+	"astream/internal/spe"
 )
 
 // Manifest records where checkpoints cut the log: Offsets[i] is the number
@@ -15,36 +17,6 @@ import (
 // contents deterministic across incarnations.
 type Manifest struct {
 	Offsets []int
-}
-
-// snapCollector counts per-barrier snapshot callbacks to detect completion.
-type snapCollector struct {
-	mu    sync.Mutex
-	seen  map[uint64]int
-	total int
-	cond  *sync.Cond
-}
-
-func newSnapCollector() *snapCollector {
-	c := &snapCollector{seen: map[uint64]int{}}
-	c.cond = sync.NewCond(&c.mu)
-	return c
-}
-
-// OnSnapshot implements spe.SnapshotSink.
-func (c *snapCollector) OnSnapshot(op string, instance int, barrier uint64, state []byte) {
-	c.mu.Lock()
-	c.seen[barrier]++
-	c.cond.Broadcast()
-	c.mu.Unlock()
-}
-
-func (c *snapCollector) await(barrier uint64, total int) {
-	c.mu.Lock()
-	for c.seen[barrier] < total {
-		c.cond.Wait()
-	}
-	c.mu.Unlock()
 }
 
 // Runner drives a core.Engine while logging every input, cutting
@@ -58,29 +30,58 @@ type Runner struct {
 	eng      *core.Engine
 	log      *Log
 	sink     *TxSink
-	snaps    *snapCollector
+	store    *SnapshotStore
 	manifest Manifest
 	ordinals []int // created query IDs, by submit order
 	barrier  uint64
 	crashed  bool
+	// detached stops a crashed incarnation's failure callbacks from
+	// poisoning the store its successor recovers from.
+	detached atomic.Bool
 }
 
-// NewRunner builds an engine wired for checkpointing.
+// NewRunner builds an engine wired for checkpointing, with a private
+// snapshot store.
 func NewRunner(cfg core.Config, log *Log, sink *TxSink) (*Runner, error) {
-	snaps := newSnapCollector()
-	cfg.SnapshotSink = snaps
+	return NewRunnerWithStore(cfg, log, sink, NewSnapshotStore())
+}
+
+// NewRunnerWithStore builds an engine wired for checkpointing against a
+// caller-owned snapshot store. Sharing one store across incarnations is what
+// enables snapshot-based recovery: the successor reads its predecessor's
+// latest completed checkpoint from the same store.
+func NewRunnerWithStore(cfg core.Config, log *Log, sink *TxSink, store *SnapshotStore) (*Runner, error) {
+	r := &Runner{log: log, sink: sink, store: store}
+	cfg.SnapshotSink = store.NewGate()
 	// Deterministic session behaviour: one changelog per request, no timer.
 	cfg.BatchSize = 1
 	cfg.BatchTimeout = time.Hour
+	// Failures wake any in-flight checkpoint wait: a dead instance will
+	// never pass its barrier, so the coordinator must give up and recover.
+	userCB := cfg.OnInstanceFailure
+	cfg.OnInstanceFailure = func(f spe.InstanceFailure) {
+		if userCB != nil {
+			userCB(f)
+		}
+		if r.detached.Load() {
+			return
+		}
+		store.Fail(f)
+	}
 	eng, err := core.NewEngine(cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Runner{cfg: cfg, eng: eng, log: log, sink: sink, snaps: snaps}, nil
+	r.cfg = cfg
+	r.eng = eng
+	return r, nil
 }
 
 // Engine exposes the underlying engine (metrics, etc.).
 func (r *Runner) Engine() *core.Engine { return r.eng }
+
+// Store exposes the snapshot store, for handing to a successor incarnation.
+func (r *Runner) Store() *SnapshotStore { return r.store }
 
 // Manifest returns the checkpoint manifest so far.
 func (r *Runner) Manifest() Manifest {
@@ -131,26 +132,63 @@ func (r *Runner) Ingest(stream int, t event.Tuple) error {
 
 // Checkpoint cuts a checkpoint: injects an aligned barrier, waits until
 // every operator instance has passed it (at which point every result of the
-// current epoch has been delivered), then commits the epoch and opens the
-// next one.
-func (r *Runner) Checkpoint() uint64 {
+// current epoch has been delivered), persists the control snapshot alongside
+// the collected operator snapshots, then commits the epoch and opens the
+// next one. A non-nil error means an instance failed and the checkpoint can
+// never complete; the caller should Crash() and recover.
+func (r *Runner) Checkpoint() (uint64, error) {
 	r.barrier++
 	id := r.barrier
 	r.eng.Checkpoint(id)
-	r.snaps.await(id, r.eng.InstanceCount())
+	if err := r.store.await(id, r.eng.InstanceCount()); err != nil {
+		return id, err
+	}
+	r.store.SetControl(id, r.controlBlob())
+	r.store.MarkComplete(id)
 	r.sink.Commit(id - 1)
 	r.sink.BeginEpoch(id)
 	r.manifest.Offsets = append(r.manifest.Offsets, r.log.Len())
-	return id
+	return id, nil
+}
+
+// controlBlob is the runner's per-checkpoint control record: its own
+// ordinal table followed by the engine's control snapshot.
+func (r *Runner) controlBlob() []byte {
+	b := []byte{1} // version
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(r.ordinals)))
+	for _, id := range r.ordinals {
+		b = binary.LittleEndian.AppendUint64(b, uint64(int64(id)))
+	}
+	return append(b, r.eng.ControlSnapshot()...)
+}
+
+// splitControlBlob undoes controlBlob.
+func splitControlBlob(b []byte) (ordinals []int, engine []byte, err error) {
+	if len(b) < 5 || b[0] != 1 {
+		return nil, nil, fmt.Errorf("checkpoint: bad control blob header")
+	}
+	n := int(binary.LittleEndian.Uint32(b[1:5]))
+	b = b[5:]
+	if n < 0 || len(b) < 8*n {
+		return nil, nil, fmt.Errorf("checkpoint: truncated control blob")
+	}
+	ordinals = make([]int, n)
+	for i := range ordinals {
+		ordinals[i] = int(int64(binary.LittleEndian.Uint64(b[8*i:])))
+	}
+	return ordinals, b[8*n:], nil
 }
 
 // Crash abandons the engine, simulating a process failure: buffered,
-// uncommitted results are lost; the log and the committed epochs survive.
+// uncommitted results are lost; the log, the committed epochs, and the
+// snapshot store's completed checkpoints survive.
 func (r *Runner) Crash() map[uint64][]string {
 	r.crashed = true
+	r.detached.Store(true)
 	// Drain in the background so goroutines exit; results it produces go
 	// to pending epochs that will never commit — exactly what a crash
-	// loses.
+	// loses. The store's generation gate drops any snapshots this drain
+	// still completes.
 	go r.eng.Drain()
 	return r.sink.CommittedEpochs()
 }
@@ -165,9 +203,11 @@ func (r *Runner) Finish() []string {
 	return r.sink.Committed()
 }
 
-// Recover rebuilds an engine from the log and replays it. Epochs already
-// committed by the crashed incarnation are deduplicated; the rest commit as
-// replay crosses the manifest's checkpoint positions.
+// Recover rebuilds an engine from the log and replays it from the beginning.
+// Epochs already committed by the crashed incarnation are deduplicated; the
+// rest commit as replay crosses the manifest's checkpoint positions. Cost is
+// proportional to the whole log; prefer RecoverFromStore when a snapshot
+// store with a completed checkpoint is available.
 func Recover(cfg core.Config, log *Log, manifest Manifest, committed map[uint64][]string) (*Runner, error) {
 	sink := NewTxSink()
 	sink.SeedCommitted(committed)
@@ -175,45 +215,107 @@ func Recover(cfg core.Config, log *Log, manifest Manifest, committed map[uint64]
 	if err != nil {
 		return nil, err
 	}
-	// Replay without re-logging.
-	recs := log.Slice(0, log.Len())
-	next := 0 // next manifest offset index
+	return r, r.replayRange(0, manifest, 0)
+}
+
+// RecoverFromStore rebuilds a runner from the store's latest completed
+// checkpoint K: operator state comes from the persisted snapshots via
+// Operator.Restore, control state from the control blob, and only the log
+// suffix past K's offset is replayed — recovery cost proportional to the
+// checkpoint interval, not job lifetime. Falls back to full-log Recover when
+// the store has no completed checkpoint.
+func RecoverFromStore(cfg core.Config, log *Log, manifest Manifest, committed map[uint64][]string, store *SnapshotStore) (*Runner, error) {
+	k, ok := store.LatestComplete()
+	if !ok {
+		// Nothing completed yet: full-log replay, but still against the
+		// caller's store so later checkpoints (and failures) land there.
+		store.ClearFailure()
+		store.DropAfter(0)
+		sink := NewTxSink()
+		sink.SeedCommitted(committed)
+		r, err := NewRunnerWithStore(cfg, log, sink, store)
+		if err != nil {
+			return nil, err
+		}
+		return r, r.replayRange(0, manifest, 0)
+	}
+	if int(k) > len(manifest.Offsets) {
+		return nil, fmt.Errorf("checkpoint: store at barrier %d but manifest has %d offsets", k, len(manifest.Offsets))
+	}
+	store.ClearFailure()
+	store.DropAfter(k)
+	ctrl, ok := store.Control(k)
+	if !ok {
+		return nil, fmt.Errorf("checkpoint: no control snapshot at barrier %d", k)
+	}
+	ordinals, engCtrl, err := splitControlBlob(ctrl)
+	if err != nil {
+		return nil, err
+	}
+	sink := NewTxSink()
+	sink.SeedCommitted(committed)
+	r, err := NewRunnerWithStore(cfg, log, sink, store)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.eng.RestoreControl(engCtrl); err != nil {
+		return nil, err
+	}
+	if err := r.eng.RestoreOperators(func(op string, instance int) ([]byte, bool) {
+		return store.Fetch(k, op, instance)
+	}); err != nil {
+		return nil, err
+	}
+	// Re-register the transactional sink for every query ever created:
+	// stopped queries still fire their final windows during the suffix,
+	// exactly as they did in the original run.
+	r.ordinals = ordinals
+	for _, id := range ordinals {
+		r.eng.Router().Register(id, sink)
+	}
+	r.barrier = k
+	r.manifest.Offsets = append(r.manifest.Offsets, manifest.Offsets[:k]...)
+	sink.BeginEpoch(k)
+	return r, r.replayRange(manifest.Offsets[k-1], manifest, int(k))
+}
+
+// replayRange replays log records [start, len) without re-logging, re-cutting
+// checkpoints at the manifest offsets from index nextOffset on.
+func (r *Runner) replayRange(start int, manifest Manifest, nextOffset int) error {
+	recs := r.log.Slice(start, r.log.Len())
+	next := nextOffset
 	for i, rec := range recs {
-		for next < len(manifest.Offsets) && manifest.Offsets[next] == i {
-			r.replayCheckpoint()
+		abs := start + i
+		for next < len(manifest.Offsets) && manifest.Offsets[next] == abs {
+			if err := r.replayCheckpoint(); err != nil {
+				return err
+			}
+			r.manifest.Offsets = append(r.manifest.Offsets, manifest.Offsets[next])
 			next++
 		}
 		switch rec.Kind {
 		case RecSubmit:
 			if err := r.applySubmit(rec.Query); err != nil {
-				return nil, err
+				return err
 			}
 		case RecStop:
 			if err := r.applyStop(rec.Ordinal); err != nil {
-				return nil, err
+				return err
 			}
 		case RecTuple:
 			if err := r.eng.Ingest(rec.Stream, rec.Tuple); err != nil {
-				return nil, err
+				return err
 			}
 		}
 	}
-	for next < len(manifest.Offsets) && manifest.Offsets[next] == len(recs) {
-		r.replayCheckpoint()
+	for next < len(manifest.Offsets) && manifest.Offsets[next] == r.log.Len() {
+		if err := r.replayCheckpoint(); err != nil {
+			return err
+		}
+		r.manifest.Offsets = append(r.manifest.Offsets, manifest.Offsets[next])
 		next++
 	}
-	return r, nil
-}
-
-// replayCheckpoint re-cuts a checkpoint during replay, deduplicating epochs
-// the previous incarnation already committed.
-func (r *Runner) replayCheckpoint() {
-	r.barrier++
-	id := r.barrier
-	r.eng.Checkpoint(id)
-	r.snaps.await(id, r.eng.InstanceCount())
-	r.sink.CommitReplayed(id - 1)
-	r.sink.BeginEpoch(id)
+	return nil
 }
 
 // FinishReplay drains and commits everything after recovery.
@@ -221,4 +323,20 @@ func (r *Runner) FinishReplay() []string {
 	r.eng.Drain()
 	r.sink.CommitReplayed(^uint64(0))
 	return r.sink.Committed()
+}
+
+// replayCheckpoint re-cuts a checkpoint during replay, deduplicating epochs
+// the previous incarnation already committed.
+func (r *Runner) replayCheckpoint() error {
+	r.barrier++
+	id := r.barrier
+	r.eng.Checkpoint(id)
+	if err := r.store.await(id, r.eng.InstanceCount()); err != nil {
+		return err
+	}
+	r.store.SetControl(id, r.controlBlob())
+	r.store.MarkComplete(id)
+	r.sink.CommitReplayed(id - 1)
+	r.sink.BeginEpoch(id)
+	return nil
 }

@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+
+	"astream/internal/spe"
+)
+
+// snapKey identifies one operator instance's snapshot within a barrier.
+type snapKey struct {
+	op       string
+	instance int
+}
+
+// SnapshotStore is the checkpoint store of the tentpole recovery path: it
+// collects per-(op, instance) operator snapshots keyed by barrier, the
+// engine's control snapshot per completed barrier, and the completion marks
+// a recovery needs to pick its restore point. It outlives engine
+// incarnations — a recovered runner reads the previous incarnation's latest
+// completed checkpoint from the same store and keeps appending to it.
+//
+// Writes are generation-gated: each incarnation registers through NewGate,
+// and snapshots reported by a previous incarnation (its instances can still
+// complete a pending barrier while draining in the background after a
+// crash) are silently dropped instead of polluting the live incarnation's
+// barriers.
+type SnapshotStore struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64
+	snaps    map[uint64]map[snapKey][]byte
+	control  map[uint64][]byte
+	complete map[uint64]bool
+	latest   uint64
+	failure  error
+}
+
+// NewSnapshotStore creates an empty store.
+func NewSnapshotStore() *SnapshotStore {
+	s := &SnapshotStore{
+		snaps:    map[uint64]map[snapKey][]byte{},
+		control:  map[uint64][]byte{},
+		complete: map[uint64]bool{},
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+// storeGate is the spe.SnapshotSink handed to one engine incarnation.
+type storeGate struct {
+	s   *SnapshotStore
+	gen uint64
+}
+
+// OnSnapshot implements spe.SnapshotSink.
+func (g storeGate) OnSnapshot(op string, instance int, barrier uint64, state []byte) {
+	g.s.onSnapshot(g.gen, op, instance, barrier, state)
+}
+
+// NewGate registers a new engine incarnation and returns its snapshot sink.
+// All previous gates become stale: their writes are dropped.
+func (s *SnapshotStore) NewGate() spe.SnapshotSink {
+	s.mu.Lock()
+	s.gen++
+	g := storeGate{s: s, gen: s.gen}
+	s.mu.Unlock()
+	return g
+}
+
+func (s *SnapshotStore) onSnapshot(gen uint64, op string, instance int, barrier uint64, state []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if gen != s.gen {
+		return // stale incarnation draining out
+	}
+	m := s.snaps[barrier]
+	if m == nil {
+		m = map[snapKey][]byte{}
+		s.snaps[barrier] = m
+	}
+	m[snapKey{op: op, instance: instance}] = state
+	s.cond.Broadcast()
+}
+
+// await blocks until `total` distinct instance snapshots have arrived for
+// the barrier, or a failure is reported (whichever first).
+func (s *SnapshotStore) await(barrier uint64, total int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.snaps[barrier]) < total && s.failure == nil {
+		s.cond.Wait()
+	}
+	return s.failure
+}
+
+// SetControl attaches the engine control snapshot to a barrier.
+func (s *SnapshotStore) SetControl(barrier uint64, b []byte) {
+	s.mu.Lock()
+	s.control[barrier] = b
+	s.mu.Unlock()
+}
+
+// MarkComplete marks a checkpoint durable (every snapshot and the control
+// blob are in). Older barriers except the immediate predecessor are dropped;
+// recovery only ever reads the latest completed checkpoint.
+func (s *SnapshotStore) MarkComplete(barrier uint64) {
+	s.mu.Lock()
+	s.complete[barrier] = true
+	if barrier > s.latest {
+		s.latest = barrier
+	}
+	for b := range s.snaps {
+		if b+1 < barrier {
+			delete(s.snaps, b)
+		}
+	}
+	for b := range s.control {
+		if b+1 < barrier {
+			delete(s.control, b)
+		}
+	}
+	for b := range s.complete {
+		if b+1 < barrier {
+			delete(s.complete, b)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// DropAfter discards every snapshot, control blob, and completion mark above
+// the given barrier. Recovery must call this before replaying: the crashed
+// incarnation may have deposited snapshots for a barrier it never completed
+// (its surviving instances passed the barrier before the failure surfaced),
+// and those would pre-satisfy the successor's retry of the same barrier id —
+// releasing the checkpoint wait before the successor's own instances have
+// passed it, and mixing dead-incarnation state into the new checkpoint.
+func (s *SnapshotStore) DropAfter(barrier uint64) {
+	s.mu.Lock()
+	for b := range s.snaps {
+		if b > barrier {
+			delete(s.snaps, b)
+		}
+	}
+	for b := range s.control {
+		if b > barrier {
+			delete(s.control, b)
+		}
+	}
+	for b := range s.complete {
+		if b > barrier {
+			delete(s.complete, b)
+		}
+	}
+	s.mu.Unlock()
+}
+
+// LatestComplete returns the newest completed barrier, if any.
+func (s *SnapshotStore) LatestComplete() (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.latest, s.latest > 0
+}
+
+// Fetch returns one instance's snapshot at a barrier.
+func (s *SnapshotStore) Fetch(barrier uint64, op string, instance int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.snaps[barrier][snapKey{op: op, instance: instance}]
+	return b, ok
+}
+
+// Control returns the engine control snapshot of a completed barrier.
+func (s *SnapshotStore) Control(barrier uint64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.control[barrier]
+	return b, ok
+}
+
+// Fail records an instance failure and wakes any await: the in-flight
+// checkpoint can never complete (a dead instance will not pass its barrier),
+// so the coordinator must stop waiting and start recovery.
+func (s *SnapshotStore) Fail(err error) {
+	if err == nil {
+		err = fmt.Errorf("checkpoint: unspecified instance failure")
+	}
+	s.mu.Lock()
+	if s.failure == nil {
+		s.failure = err
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// Failure returns the recorded failure, if any.
+func (s *SnapshotStore) Failure() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failure
+}
+
+// ClearFailure resets the failure state for the next incarnation.
+func (s *SnapshotStore) ClearFailure() {
+	s.mu.Lock()
+	s.failure = nil
+	s.mu.Unlock()
+}

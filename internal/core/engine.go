@@ -60,6 +60,14 @@ type Config struct {
 	NowNanos func() int64
 	// SnapshotSink, when set, receives operator snapshots on checkpoints.
 	SnapshotSink spe.SnapshotSink
+	// OnInstanceFailure, when set, is called (from the failing instance's
+	// goroutine) for every supervised operator failure, after the engine has
+	// recorded it. Checkpoint runners use it to interrupt in-flight barriers
+	// and schedule recovery.
+	OnInstanceFailure func(spe.InstanceFailure)
+	// FaultHook, when set, threads deterministic fault injection through the
+	// deployment (tests only; see internal/fault).
+	FaultHook spe.FaultHook
 }
 
 func (c *Config) setDefaults() {
@@ -138,6 +146,14 @@ type Engine struct {
 	defsMu     sync.RWMutex
 	defs       map[int]*Query
 	stopped    bool
+
+	// Failure surface: every supervised instance failure is recorded here;
+	// repeated predicate panics quarantine the offending query (§ functional
+	// isolation — one bad ad-hoc query must not kill the shared pipeline).
+	failMu      sync.Mutex
+	failures    []spe.InstanceFailure
+	strikes     map[int]int
+	quarantined map[int]bool
 }
 
 // streamIngress is the per-stream ingestion state. Ingest for one stream
@@ -165,11 +181,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, fmt.Errorf("core: at most 8 streams supported, got %d", cfg.Streams)
 	}
 	eng := &Engine{
-		cfg:      cfg,
-		registry: changelog.NewRegistry(cfg.SlotMode),
-		metrics:  NewOpMetrics(cfg.NowNanos),
-		clTimes:  newChangelogTimes(cfg.Streams),
-		defs:     make(map[int]*Query),
+		cfg:         cfg,
+		registry:    changelog.NewRegistry(cfg.SlotMode),
+		metrics:     NewOpMetrics(cfg.NowNanos),
+		clTimes:     newChangelogTimes(cfg.Streams),
+		defs:        make(map[int]*Query),
+		strikes:     make(map[int]int),
+		quarantined: make(map[int]bool),
 	}
 	eng.router = NewRouter(eng.metrics)
 	eng.session = newSession(eng, cfg.BatchSize, cfg.BatchTimeout)
@@ -200,6 +218,8 @@ func NewEngine(cfg Config) (*Engine, error) {
 		}
 		sels[i] = topo.AddOperator(fmt.Sprintf("select-%d", i), P, func(inst int) spe.Logic {
 			l := NewSharedSelection(i, cfg.Lateness, eng.metrics)
+			l.onPredPanic = eng.predicatePanicked
+			l.faultHook, _ = cfg.FaultHook.(predicateHook)
 			eng.selLogics[i][inst] = l
 			return l
 		}, srcInput)
@@ -252,6 +272,13 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	if cfg.SnapshotSink != nil {
 		opts = append(opts, spe.WithSnapshotSink(cfg.SnapshotSink))
+	}
+	// The engine always supervises its instances: an operator panic surfaces
+	// as a recorded InstanceFailure (and the optional callback), never as a
+	// process crash.
+	opts = append(opts, spe.WithFailureSink(spe.FailureFunc(eng.onInstanceFailure)))
+	if cfg.FaultHook != nil {
+		opts = append(opts, spe.WithFaultHook(cfg.FaultHook))
 	}
 	job, err := spe.Deploy(topo, opts...)
 	if err != nil {

@@ -42,7 +42,15 @@ func (m *ChangelogMsg) ChangelogSeq() uint64 { return m.CL.Seq }
 // selEntry is one active query's predicate on this stream.
 type selEntry struct {
 	slot int
+	id   int // engine query ID, for quarantine attribution
 	pred expr.Predicate
+}
+
+// predicateHook is the fault-injection seam for predicate evaluation: the
+// engine installs the configured fault plan here so a seeded schedule can
+// make a specific query's predicate panic deterministically.
+type predicateHook interface {
+	BeforePredicate(stream, queryID int)
 }
 
 // selVersion is the query table in effect from a given event-time.
@@ -68,6 +76,13 @@ type SharedSelection struct {
 	// (>64 slots) cost one allocation per emitted tuple instead of one per
 	// spill growth, and narrow sets cost none.
 	qsTmp bitset.Bits
+	// onPredPanic, when set, receives predicate-evaluation panics so the
+	// engine can count strikes and quarantine the offending query instead of
+	// letting one bad ad-hoc predicate take down the shared pipeline.
+	onPredPanic func(queryID int, v any)
+	// faultHook, when set, runs before each predicate evaluation (seeded
+	// fault injection).
+	faultHook predicateHook
 }
 
 // NewSharedSelection constructs the logic for one instance.
@@ -101,7 +116,7 @@ func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
 	s.qsTmp.Reset()
 	for i := range v.entries {
 		e := &v.entries[i]
-		if e.pred.Eval(&t) {
+		if s.evalEntry(e, &t) {
 			s.qsTmp.Set(e.slot)
 		}
 	}
@@ -114,6 +129,26 @@ func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
 	t.Stream = uint8(s.stream)
 	atomic.AddUint64(&s.metrics.Selected, 1)
 	out.EmitTuple(t)
+}
+
+// evalEntry evaluates one predicate, converting a panic (a buggy ad-hoc
+// predicate or an injected fault) into a non-match reported to the engine.
+// Functional isolation: a panicking predicate affects only its own query's
+// results, never the co-hosted queries sharing this instance.
+func (s *SharedSelection) evalEntry(e *selEntry, t *event.Tuple) (matched bool) {
+	//lint:ignore hotalloc deliberate: the recover closure is the isolation boundary that keeps a panicking ad-hoc predicate from poisoning co-hosted queries; one closure per evaluation is the price of that containment
+	defer func() {
+		if pv := recover(); pv != nil {
+			matched = false
+			if s.onPredPanic != nil {
+				s.onPredPanic(e.id, pv)
+			}
+		}
+	}()
+	if s.faultHook != nil {
+		s.faultHook.BeforePredicate(s.stream, e.id)
+	}
+	return e.pred.Eval(t)
 }
 
 // OnChangelog installs the new query table version.
@@ -135,7 +170,7 @@ func (s *SharedSelection) OnChangelog(payload any, at event.Time, _ *spe.Emitter
 		if q == nil || s.stream >= q.Arity {
 			continue // query does not read this stream
 		}
-		next.entries = append(next.entries, selEntry{slot: c.Slot, pred: q.Predicates[s.stream]})
+		next.entries = append(next.entries, selEntry{slot: c.Slot, id: c.Query, pred: q.Predicates[s.stream]})
 	}
 	s.versions = append(s.versions, next)
 }

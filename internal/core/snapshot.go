@@ -1,0 +1,748 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"astream/internal/bitset"
+	"astream/internal/changelog"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/spe"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// This file implements Snapshot/Restore for the shared operators: each
+// logic's OnBarrier serializes the state a recovered instance needs to
+// resume mid-stream, and Restore (spe.Restorable) rebuilds that state into
+// a freshly constructed instance. Together with the checkpoint store this
+// turns recovery from full-log replay into restore-at-barrier plus
+// suffix replay (paper §3.3's determinism makes the two equivalent; the
+// snapshot only bounds the replay length).
+//
+// Format discipline matches internal/checkpoint's log encoding:
+// little-endian fixed-width integers, length-prefixed sequences, one
+// leading version byte per operator snapshot. Everything serialized is a
+// deterministic function of the operator's event-time input, so two
+// instances that processed the same prefix produce byte-identical
+// snapshots.
+
+const opSnapshotVersion = 1
+
+func snapU8(b []byte, v uint8) []byte   { return append(b, v) }
+func snapU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func snapU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+func snapI64(b []byte, v int64) []byte  { return binary.LittleEndian.AppendUint64(b, uint64(v)) }
+
+func snapBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func snapBits(b []byte, bits bitset.Bits) []byte {
+	words := bits.Words()
+	b = snapU32(b, uint32(len(words)))
+	for _, w := range words {
+		b = snapU64(b, w)
+	}
+	return b
+}
+
+func snapBytes(b, p []byte) []byte {
+	b = snapU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// snapR decodes operator snapshots, accumulating the first error (the
+// byteReader idiom used across the checkpoint encodings).
+type snapR struct {
+	b   []byte
+	err error
+}
+
+func (r *snapR) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("core: snapshot truncated reading %s", what)
+	}
+}
+
+func (r *snapR) u8(what string) uint8 {
+	if r.err != nil || len(r.b) < 1 {
+		r.fail(what)
+		return 0
+	}
+	v := r.b[0]
+	r.b = r.b[1:]
+	return v
+}
+
+func (r *snapR) u32(what string) uint32 {
+	if r.err != nil || len(r.b) < 4 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b)
+	r.b = r.b[4:]
+	return v
+}
+
+func (r *snapR) u64(what string) uint64 {
+	if r.err != nil || len(r.b) < 8 {
+		r.fail(what)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b)
+	r.b = r.b[8:]
+	return v
+}
+
+func (r *snapR) i64(what string) int64 { return int64(r.u64(what)) }
+
+func (r *snapR) boolean(what string) bool { return r.u8(what) == 1 }
+
+// count reads a length prefix and sanity-checks it against the remaining
+// bytes (each element needs at least `unit` bytes), so corrupt input fails
+// instead of allocating unboundedly.
+func (r *snapR) count(what string, unit int) int {
+	n := int(r.u32(what))
+	if r.err == nil && (n < 0 || (unit > 0 && n > len(r.b)/unit+1)) {
+		r.fail(what)
+		return 0
+	}
+	return n
+}
+
+func (r *snapR) bits(what string) bitset.Bits {
+	n := r.count(what, 8)
+	if r.err != nil || n == 0 {
+		return bitset.Bits{}
+	}
+	words := make([]uint64, n)
+	for i := range words {
+		words[i] = r.u64(what)
+	}
+	return bitset.FromWords(words)
+}
+
+func (r *snapR) bytes(what string) []byte {
+	n := r.count(what, 1)
+	if r.err != nil {
+		return nil
+	}
+	if n > len(r.b) {
+		r.fail(what)
+		return nil
+	}
+	out := r.b[:n]
+	r.b = r.b[n:]
+	return out
+}
+
+// --- shared value codecs ---
+
+func snapTuple(b []byte, t *event.Tuple) []byte {
+	b = snapI64(b, t.Key)
+	for _, f := range t.Fields {
+		b = snapI64(b, f)
+	}
+	b = snapI64(b, int64(t.Time))
+	b = snapI64(b, t.IngestNanos)
+	b = snapU8(b, t.Stream)
+	b = snapBits(b, t.QuerySet)
+	return b
+}
+
+func readTuple(r *snapR) event.Tuple {
+	var t event.Tuple
+	t.Key = r.i64("tuple key")
+	for i := range t.Fields {
+		t.Fields[i] = r.i64("tuple field")
+	}
+	t.Time = event.Time(r.i64("tuple time"))
+	t.IngestNanos = r.i64("tuple ingest")
+	t.Stream = r.u8("tuple stream")
+	t.QuerySet = r.bits("tuple query-set")
+	return t
+}
+
+func snapSpec(b []byte, s window.Spec) []byte {
+	b = snapU8(b, uint8(s.Kind))
+	b = snapI64(b, int64(s.Length))
+	b = snapI64(b, int64(s.Slide))
+	b = snapI64(b, int64(s.Gap))
+	return b
+}
+
+func readSnapSpec(r *snapR) window.Spec {
+	return window.Spec{
+		Kind:   window.Kind(r.u8("spec kind")),
+		Length: event.Time(r.i64("spec length")),
+		Slide:  event.Time(r.i64("spec slide")),
+		Gap:    event.Time(r.i64("spec gap")),
+	}
+}
+
+// snapQuery serializes a compiled query including its engine-assigned ID
+// (checkpoint.MarshalQuery deliberately omits the ID because the replay
+// path re-assigns it; a snapshot must restore the exact binding).
+func snapQuery(b []byte, q *Query) []byte {
+	b = snapI64(b, int64(q.ID))
+	b = snapU8(b, uint8(q.Kind))
+	b = snapU32(b, uint32(q.Arity))
+	for _, p := range q.Predicates {
+		b = snapU32(b, uint32(len(p.Conj)))
+		for _, c := range p.Conj {
+			b = snapI64(b, int64(c.Field))
+			b = snapU8(b, uint8(c.Op))
+			b = snapI64(b, c.Value)
+		}
+	}
+	b = snapSpec(b, q.Window)
+	b = snapSpec(b, q.AggWindow)
+	b = snapU8(b, uint8(q.Agg))
+	b = snapI64(b, int64(q.AggField))
+	return b
+}
+
+func readSnapQuery(r *snapR) *Query {
+	q := &Query{}
+	q.ID = int(r.i64("query id"))
+	q.Kind = Kind(r.u8("query kind"))
+	q.Arity = int(r.u32("query arity"))
+	if r.err == nil && (q.Arity < 0 || q.Arity > 16) {
+		r.fail("query arity")
+		return q
+	}
+	q.Predicates = make([]expr.Predicate, q.Arity)
+	for i := 0; i < q.Arity && r.err == nil; i++ {
+		n := r.count("predicate size", 17)
+		for j := 0; j < n; j++ {
+			c := expr.Comparison{
+				Field: int(r.i64("comparison field")),
+				Op:    expr.Op(r.u8("comparison op")),
+				Value: r.i64("comparison value"),
+			}
+			q.Predicates[i] = q.Predicates[i].And(c)
+		}
+	}
+	q.Window = readSnapSpec(r)
+	q.AggWindow = readSnapSpec(r)
+	q.Agg = sqlstream.AggFunc(r.u8("query agg"))
+	q.AggField = int(r.i64("query agg field"))
+	return q
+}
+
+// --- slice store ---
+
+// snapSliceStore serializes the exact store representation (mode, layout,
+// and group structure), not just the tuples: re-inserting tuples through
+// Add could cross the adaptive degenerate threshold at a different point
+// than the original run did, and the layout must survive restores
+// byte-for-byte for replay determinism.
+func snapSliceStore(b []byte, s *sliceStore) []byte {
+	if s == nil {
+		return snapBool(b, false)
+	}
+	b = snapBool(b, true)
+	b = snapU8(b, uint8(s.mode))
+	b = snapBool(b, s.grouped)
+	b = snapU32(b, uint32(s.count))
+	if s.grouped {
+		b = snapU32(b, uint32(s.groups.len()))
+		for _, g := range s.groups.order {
+			b = snapBits(b, g.qs)
+			b = snapU32(b, uint32(len(g.tuples)))
+			for i := range g.tuples {
+				b = snapTuple(b, &g.tuples[i])
+			}
+		}
+		return b
+	}
+	b = snapU32(b, uint32(len(s.list)))
+	for i := range s.list {
+		b = snapTuple(b, &s.list[i])
+	}
+	return b
+}
+
+func readSliceStore(r *snapR) *sliceStore {
+	if !r.boolean("store present") {
+		return nil
+	}
+	s := &sliceStore{
+		mode:    StoreMode(r.u8("store mode")),
+		grouped: r.boolean("store grouped"),
+		count:   int(r.u32("store count")),
+	}
+	if s.grouped {
+		s.groups = newQSIndex[tupleGroup]()
+		ng := r.count("store group count", 8)
+		for gi := 0; gi < ng && r.err == nil; gi++ {
+			g := &tupleGroup{qs: r.bits("group query-set")}
+			nt := r.count("group tuple count", 8)
+			for ti := 0; ti < nt && r.err == nil; ti++ {
+				g.tuples = append(g.tuples, readTuple(r))
+			}
+			if r.err == nil {
+				s.groups.put(g.qs, g)
+			}
+		}
+		return s
+	}
+	nt := r.count("store tuple count", 8)
+	for ti := 0; ti < nt && r.err == nil; ti++ {
+		s.list = append(s.list, readTuple(r))
+	}
+	return s
+}
+
+// --- aggregation slice payload ---
+
+func snapAggVal(b []byte, v *aggVal) []byte {
+	b = snapI64(b, v.Count)
+	for i := 0; i < event.NumFields; i++ {
+		b = snapI64(b, v.Sum[i])
+	}
+	for i := 0; i < event.NumFields; i++ {
+		b = snapI64(b, v.Min[i])
+	}
+	for i := 0; i < event.NumFields; i++ {
+		b = snapI64(b, v.Max[i])
+	}
+	b = snapI64(b, v.IngestNanos)
+	return b
+}
+
+func readAggVal(r *snapR) *aggVal {
+	v := &aggVal{}
+	v.Count = r.i64("aggval count")
+	for i := 0; i < event.NumFields; i++ {
+		v.Sum[i] = r.i64("aggval sum")
+	}
+	for i := 0; i < event.NumFields; i++ {
+		v.Min[i] = r.i64("aggval min")
+	}
+	for i := 0; i < event.NumFields; i++ {
+		v.Max[i] = r.i64("aggval max")
+	}
+	v.IngestNanos = r.i64("aggval ingest")
+	return v
+}
+
+func snapAggIndex(b []byte, x *qsIndex[aggGroup]) []byte {
+	if x == nil {
+		return snapBool(b, false)
+	}
+	b = snapBool(b, true)
+	b = snapU32(b, uint32(x.len()))
+	for _, g := range x.order {
+		b = snapBits(b, g.qs)
+		b = snapU32(b, uint32(len(g.keys)))
+		for _, key := range g.keys {
+			b = snapI64(b, key)
+			b = snapAggVal(b, g.byKey[key])
+		}
+	}
+	return b
+}
+
+func readAggIndex(r *snapR) *qsIndex[aggGroup] {
+	if !r.boolean("aggs present") {
+		return nil
+	}
+	x := newQSIndex[aggGroup]()
+	ng := r.count("agg group count", 8)
+	for gi := 0; gi < ng && r.err == nil; gi++ {
+		g := &aggGroup{qs: r.bits("agg group query-set"), byKey: make(map[int64]*aggVal)}
+		nk := r.count("agg key count", 8)
+		for ki := 0; ki < nk && r.err == nil; ki++ {
+			key := r.i64("agg key")
+			g.byKey[key] = readAggVal(r)
+			g.keys = append(g.keys, key)
+		}
+		if r.err == nil {
+			x.put(g.qs, g)
+		}
+	}
+	return x
+}
+
+// --- slicer ---
+
+func snapSlicer(b []byte, s *slicer, payload func([]byte, *slice) []byte) []byte {
+	b = snapU64(b, s.nextID)
+	b = snapU64(b, s.stride)
+	b = snapU32(b, uint32(len(s.epochs)))
+	for i := range s.epochs {
+		ep := &s.epochs[i]
+		b = snapI64(b, int64(ep.from))
+		b = snapU64(b, ep.seq)
+		b = snapU32(b, uint32(len(ep.specs)))
+		for _, sp := range ep.specs {
+			b = snapSpec(b, sp)
+		}
+	}
+	b = snapU32(b, uint32(len(s.slices)))
+	for _, sl := range s.slices {
+		b = snapU64(b, sl.id)
+		b = snapI64(b, int64(sl.ext.Start))
+		b = snapI64(b, int64(sl.ext.End))
+		b = snapU64(b, sl.epoch)
+		b = payload(b, sl)
+	}
+	return b
+}
+
+func restoreSlicer(r *snapR, s *slicer, payload func(*snapR, *slice)) {
+	s.nextID = r.u64("slicer nextID")
+	s.stride = r.u64("slicer stride")
+	ne := r.count("slicer epoch count", 16)
+	s.epochs = s.epochs[:0]
+	for i := 0; i < ne && r.err == nil; i++ {
+		ep := epochInfo{
+			from: event.Time(r.i64("epoch from")),
+			seq:  r.u64("epoch seq"),
+		}
+		ns := r.count("epoch spec count", 25)
+		for j := 0; j < ns && r.err == nil; j++ {
+			ep.specs = append(ep.specs, readSnapSpec(r))
+		}
+		s.epochs = append(s.epochs, ep)
+	}
+	nsl := r.count("slicer slice count", 32)
+	s.slices = s.slices[:0]
+	for i := 0; i < nsl && r.err == nil; i++ {
+		sl := &slice{
+			id: r.u64("slice id"),
+			ext: window.Extent{
+				Start: event.Time(r.i64("slice start")),
+				End:   event.Time(r.i64("slice end")),
+			},
+			epoch: r.u64("slice epoch"),
+		}
+		payload(r, sl)
+		if r.err == nil {
+			s.slices = append(s.slices, sl)
+		}
+	}
+}
+
+// --- changelog table (length-prefixed passthrough) ---
+
+func snapTable(b []byte, t *changelog.Table) []byte {
+	return snapBytes(b, t.Snapshot())
+}
+
+func readSnapTable(r *snapR) *changelog.Table {
+	enc := r.bytes("changelog table")
+	if r.err != nil {
+		return nil
+	}
+	t, err := changelog.TableFromSnapshot(enc)
+	if err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+		return nil
+	}
+	return t
+}
+
+// --- SharedSelection ---
+
+// OnBarrier implements spe.Logic: serialize the versioned predicate table.
+func (s *SharedSelection) OnBarrier(uint64, *spe.Emitter) []byte {
+	b := snapU8(nil, opSnapshotVersion)
+	b = snapI64(b, int64(s.wm))
+	b = snapU32(b, uint32(len(s.versions)))
+	for i := range s.versions {
+		v := &s.versions[i]
+		b = snapI64(b, int64(v.from))
+		b = snapU32(b, uint32(len(v.entries)))
+		for _, e := range v.entries {
+			b = snapU32(b, uint32(e.slot))
+			b = snapI64(b, int64(e.id))
+			b = snapU32(b, uint32(len(e.pred.Conj)))
+			for _, c := range e.pred.Conj {
+				b = snapI64(b, int64(c.Field))
+				b = snapU8(b, uint8(c.Op))
+				b = snapI64(b, c.Value)
+			}
+		}
+	}
+	return b
+}
+
+// Restore implements spe.Restorable.
+func (s *SharedSelection) Restore(snapshot []byte) error {
+	r := &snapR{b: snapshot}
+	if v := r.u8("selection version"); r.err == nil && v != opSnapshotVersion {
+		return fmt.Errorf("core: selection snapshot version %d, want %d", v, opSnapshotVersion)
+	}
+	wm := event.Time(r.i64("selection wm"))
+	nv := r.count("selection version count", 12)
+	versions := make([]selVersion, 0, nv)
+	for i := 0; i < nv && r.err == nil; i++ {
+		v := selVersion{from: event.Time(r.i64("version from"))}
+		ne := r.count("version entry count", 16)
+		for j := 0; j < ne && r.err == nil; j++ {
+			e := selEntry{
+				slot: int(r.u32("entry slot")),
+				id:   int(r.i64("entry id")),
+			}
+			nc := r.count("entry conj count", 17)
+			for k := 0; k < nc && r.err == nil; k++ {
+				c := expr.Comparison{
+					Field: int(r.i64("conj field")),
+					Op:    expr.Op(r.u8("conj op")),
+					Value: r.i64("conj value"),
+				}
+				e.pred = e.pred.And(c)
+			}
+			v.entries = append(v.entries, e)
+		}
+		versions = append(versions, v)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(versions) == 0 {
+		versions = []selVersion{{from: event.MinTime}}
+	}
+	s.wm = wm
+	s.versions = versions
+	return nil
+}
+
+// --- SharedJoin ---
+
+// OnBarrier implements spe.Logic: serialize both side slicers (with their
+// slice stores), the changelog-set table, and the active query table. The
+// pair cache is deliberately excluded — it is a pure memoization over slice
+// contents and rebuilds on demand.
+func (j *SharedJoin) OnBarrier(uint64, *spe.Emitter) []byte {
+	b := snapU8(nil, opSnapshotVersion)
+	b = snapU8(b, uint8(j.storeMode))
+	b = snapI64(b, int64(j.lastWM))
+	b = snapI64(b, int64(j.evictedThru[0]))
+	b = snapI64(b, int64(j.evictedThru[1]))
+	b = snapTable(b, j.table)
+	for _, side := range j.sides {
+		b = snapSlicer(b, side, func(b []byte, sl *slice) []byte {
+			return snapSliceStore(b, sl.store)
+		})
+	}
+	b = snapU32(b, uint32(len(j.activeOrdered)))
+	for _, aq := range j.activeOrdered {
+		b = snapQuery(b, aq.q)
+		b = snapU32(b, uint32(aq.slot))
+		b = snapBool(b, aq.terminal)
+		b = snapI64(b, int64(aq.since))
+		b = snapI64(b, int64(aq.until))
+		b = snapU64(b, aq.endEpoch)
+	}
+	return b
+}
+
+// Restore implements spe.Restorable.
+func (j *SharedJoin) Restore(snapshot []byte) error {
+	r := &snapR{b: snapshot}
+	if v := r.u8("join version"); r.err == nil && v != opSnapshotVersion {
+		return fmt.Errorf("core: join snapshot version %d, want %d", v, opSnapshotVersion)
+	}
+	j.storeMode = StoreMode(r.u8("join store mode"))
+	j.lastWM = event.Time(r.i64("join lastWM"))
+	j.evictedThru[0] = event.Time(r.i64("join evictedThru[0]"))
+	j.evictedThru[1] = event.Time(r.i64("join evictedThru[1]"))
+	j.table = readSnapTable(r)
+	for _, side := range j.sides {
+		restoreSlicer(r, side, func(r *snapR, sl *slice) {
+			sl.store = readSliceStore(r)
+		})
+	}
+	nq := r.count("join query count", 32)
+	j.active = make(map[int]*joinQuery, nq)
+	j.activeOrdered = j.activeOrdered[:0]
+	for i := 0; i < nq && r.err == nil; i++ {
+		aq := &joinQuery{
+			q:        readSnapQuery(r),
+			slot:     int(r.u32("join query slot")),
+			terminal: r.boolean("join query terminal"),
+			since:    event.Time(r.i64("join query since")),
+			until:    event.Time(r.i64("join query until")),
+			endEpoch: r.u64("join query endEpoch"),
+		}
+		if r.err == nil {
+			j.active[aq.q.ID] = aq
+			j.insertOrdered(aq)
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	j.pairCache = make(map[uint64][]event.JoinedTuple)
+	j.pairsBySlice = make(map[uint64][]uint64)
+	return nil
+}
+
+// --- SharedAggregation ---
+
+// OnBarrier implements spe.Logic: serialize the slicer (with per-slice
+// partials), the changelog-set table, the versioned masks, and both query
+// tables including open session windows.
+func (a *SharedAggregation) OnBarrier(uint64, *spe.Emitter) []byte {
+	b := snapU8(nil, opSnapshotVersion)
+	b = snapU32(b, uint32(a.ports))
+	b = snapI64(b, int64(a.lastWM))
+	b = snapI64(b, int64(a.evictedThru))
+	b = snapTable(b, a.table)
+	b = snapSlicer(b, a.sl, func(b []byte, sl *slice) []byte {
+		return snapAggIndex(b, sl.aggs)
+	})
+	b = snapU32(b, uint32(len(a.maskVersions)))
+	for i := range a.maskVersions {
+		mv := &a.maskVersions[i]
+		b = snapI64(b, int64(mv.from))
+		b = snapU32(b, uint32(len(mv.portMasks)))
+		for _, pm := range mv.portMasks {
+			b = snapBits(b, pm)
+		}
+		b = snapBits(b, mv.selMask)
+		b = snapBits(b, mv.sessMask)
+	}
+	b = snapU32(b, uint32(len(a.activeOrdered)))
+	for _, aq := range a.activeOrdered {
+		b = snapAggQuery(b, aq, true)
+	}
+	b = snapU32(b, uint32(len(a.selOrdered)))
+	for _, sq := range a.selOrdered {
+		b = snapAggQuery(b, sq, false)
+	}
+	return b
+}
+
+func snapAggQuery(b []byte, aq *aggQuery, withSessions bool) []byte {
+	b = snapQuery(b, aq.q)
+	b = snapU32(b, uint32(aq.slot))
+	b = snapU32(b, uint32(aq.port))
+	b = snapI64(b, int64(aq.since))
+	b = snapI64(b, int64(aq.until))
+	b = snapU64(b, aq.endEpoch)
+	if !withSessions {
+		return b
+	}
+	if aq.sessions == nil {
+		return snapBool(b, false)
+	}
+	b = snapBool(b, true)
+	b = snapU32(b, uint32(len(aq.sessKeys)))
+	for _, key := range aq.sessKeys {
+		b = snapI64(b, key)
+		open := aq.sessions[key].OpenSessions()
+		b = snapU32(b, uint32(len(open)))
+		for _, w := range open {
+			b = snapI64(b, int64(w.Start))
+			b = snapI64(b, int64(w.End))
+			b = snapI64(b, w.Sum)
+			b = snapI64(b, w.Count)
+		}
+	}
+	return b
+}
+
+func readAggQuery(r *snapR, withSessions bool) *aggQuery {
+	aq := &aggQuery{
+		q:        readSnapQuery(r),
+		slot:     int(r.u32("agg query slot")),
+		port:     int(r.u32("agg query port")),
+		since:    event.Time(r.i64("agg query since")),
+		until:    event.Time(r.i64("agg query until")),
+		endEpoch: r.u64("agg query endEpoch"),
+	}
+	if !withSessions {
+		return aq
+	}
+	if !r.boolean("agg query sessions present") {
+		return aq
+	}
+	aq.sessions = make(map[int64]*window.SessionState)
+	nk := r.count("session key count", 12)
+	for ki := 0; ki < nk && r.err == nil; ki++ {
+		key := r.i64("session key")
+		nw := r.count("open session count", 32)
+		open := make([]window.OpenSession, 0, nw)
+		for wi := 0; wi < nw && r.err == nil; wi++ {
+			open = append(open, window.OpenSession{
+				Start: event.Time(r.i64("session start")),
+				End:   event.Time(r.i64("session end")),
+				Sum:   r.i64("session sum"),
+				Count: r.i64("session count"),
+			})
+		}
+		if r.err == nil {
+			aq.sessions[key] = window.RestoreSessionState(aq.spec().Gap, open)
+			aq.sessKeys = append(aq.sessKeys, key) // serialized in sorted order
+		}
+	}
+	return aq
+}
+
+// Restore implements spe.Restorable.
+func (a *SharedAggregation) Restore(snapshot []byte) error {
+	r := &snapR{b: snapshot}
+	if v := r.u8("agg version"); r.err == nil && v != opSnapshotVersion {
+		return fmt.Errorf("core: aggregation snapshot version %d, want %d", v, opSnapshotVersion)
+	}
+	if ports := int(r.u32("agg ports")); r.err == nil && ports != a.ports {
+		return fmt.Errorf("core: aggregation snapshot has %d ports, instance has %d", ports, a.ports)
+	}
+	a.lastWM = event.Time(r.i64("agg lastWM"))
+	a.evictedThru = event.Time(r.i64("agg evictedThru"))
+	a.table = readSnapTable(r)
+	restoreSlicer(r, a.sl, func(r *snapR, sl *slice) {
+		sl.aggs = readAggIndex(r)
+	})
+	nmv := r.count("mask version count", 20)
+	a.maskVersions = a.maskVersions[:0]
+	for i := 0; i < nmv && r.err == nil; i++ {
+		mv := maskVersion{from: event.Time(r.i64("mask from"))}
+		np := r.count("port mask count", 4)
+		mv.portMasks = make([]bitset.Bits, 0, np)
+		for p := 0; p < np && r.err == nil; p++ {
+			mv.portMasks = append(mv.portMasks, r.bits("port mask"))
+		}
+		mv.selMask = r.bits("sel mask")
+		mv.sessMask = r.bits("sess mask")
+		a.maskVersions = append(a.maskVersions, mv)
+	}
+	na := r.count("agg active count", 32)
+	a.active = make(map[int]*aggQuery, na)
+	a.activeOrdered = a.activeOrdered[:0]
+	for i := 0; i < na && r.err == nil; i++ {
+		aq := readAggQuery(r, true)
+		if r.err == nil {
+			a.active[aq.q.ID] = aq
+			a.activeOrdered = insertBySlot(a.activeOrdered, aq)
+		}
+	}
+	ns := r.count("agg selection count", 32)
+	a.selection = make(map[int]*aggQuery, ns)
+	a.selOrdered = a.selOrdered[:0]
+	for i := 0; i < ns && r.err == nil; i++ {
+		sq := readAggQuery(r, false)
+		if r.err == nil {
+			a.selection[sq.q.ID] = sq
+			a.selOrdered = insertBySlot(a.selOrdered, sq)
+		}
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(a.maskVersions) == 0 {
+		a.maskVersions = []maskVersion{{from: event.MinTime, portMasks: make([]bitset.Bits, a.ports)}}
+	}
+	return nil
+}

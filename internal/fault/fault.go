@@ -1,0 +1,274 @@
+// Package fault provides deterministic fault injection for chaos-testing the
+// engine's supervision and recovery paths. A Plan is a seeded, replayable
+// schedule of injected faults — operator kills, exchange-link batch faults,
+// predicate panics — that threads through the runtime behind the
+// nil-by-default spe.FaultHook. All randomness is consumed when the plan is
+// constructed; during the run a plan is a pure lookup table, so the same
+// seed produces the same schedule every time.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"astream/internal/spe"
+)
+
+// OpKind enumerates the injectable fault types.
+type OpKind int
+
+const (
+	// KillAfterTuples panics inside the instance after it has processed N
+	// matching tuples, exercising supervisor capture + recovery.
+	KillAfterTuples OpKind = iota
+	// KillAtBarrier panics at barrier alignment, exercising failure during
+	// an in-flight checkpoint.
+	KillAtBarrier
+	// CorruptBatch poisons the encoded bytes of the N-th exchange batch so
+	// decoding fails, exercising the codec round-trip failure path.
+	CorruptBatch
+	// DropBatch discards the N-th exchange batch, exercising lost-data
+	// detection (the lossy epoch must never commit).
+	DropBatch
+	// DelayBatch holds the N-th exchange batch back one flush round,
+	// exercising reordering tolerance.
+	DelayBatch
+	// PanicPredicate panics while evaluating one query's predicate,
+	// exercising per-query isolation and quarantine. Unlike the other
+	// kinds it is not one-shot: it fires on every evaluation until the
+	// engine quarantines the query.
+	PanicPredicate
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case KillAfterTuples:
+		return "kill-after-tuples"
+	case KillAtBarrier:
+		return "kill-at-barrier"
+	case CorruptBatch:
+		return "corrupt-batch"
+	case DropBatch:
+		return "drop-batch"
+	case DelayBatch:
+		return "delay-batch"
+	case PanicPredicate:
+		return "panic-predicate"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Injected is the panic value used for injected kills, so failure reports
+// distinguish chaos from real bugs.
+type Injected struct{ Why string }
+
+func (i Injected) String() string { return "injected fault: " + i.Why }
+
+// Op is one scheduled fault.
+type Op struct {
+	Kind     OpKind
+	Op       string // operator node name; "" matches any
+	Instance int    // instance index; -1 matches any
+	N        int    // kill: fire on the N-th matching tuple; batch ops: the N-th matching batch
+	Barrier  uint64 // KillAtBarrier: fire when this barrier aligns
+	QueryID  int    // PanicPredicate: panic evaluating this query's predicate
+}
+
+func (o Op) String() string {
+	switch o.Kind {
+	case KillAfterTuples:
+		return fmt.Sprintf("%v %s[%d] n=%d", o.Kind, o.Op, o.Instance, o.N)
+	case KillAtBarrier:
+		return fmt.Sprintf("%v %s[%d] barrier=%d", o.Kind, o.Op, o.Instance, o.Barrier)
+	case PanicPredicate:
+		return fmt.Sprintf("%v q=%d", o.Kind, o.QueryID)
+	default:
+		return fmt.Sprintf("%v %s[%d] batch=%d", o.Kind, o.Op, o.Instance, o.N)
+	}
+}
+
+type instKey struct {
+	op       string
+	instance int
+}
+
+// Plan is a deterministic fault schedule. It implements spe.FaultHook (and
+// the core engine's predicate hook), is safe for concurrent use from every
+// operator goroutine, and may be shared across engine incarnations: fired
+// one-shot ops stay fired, which models transient faults that do not recur
+// after recovery.
+type Plan struct {
+	mu       sync.Mutex
+	ops      []Op
+	fired    []bool
+	tuples   map[instKey]int
+	batches  map[instKey]int
+	predHits map[int]int
+	firedLog []string
+}
+
+// NewPlan builds a plan from an explicit schedule.
+func NewPlan(ops ...Op) *Plan {
+	return &Plan{
+		ops:      append([]Op(nil), ops...),
+		fired:    make([]bool, len(ops)),
+		tuples:   map[instKey]int{},
+		batches:  map[instKey]int{},
+		predHits: map[int]int{},
+	}
+}
+
+// RandomConfig bounds the fault schedule RandomPlan draws.
+type RandomConfig struct {
+	Ops              []string // candidate operator node names
+	Instances        int      // instances per operator
+	MaxTuples        int      // kill-after-tuples thresholds drawn from [1, MaxTuples]
+	Barriers         int      // kill-at-barrier ids drawn from [1, Barriers]
+	Batches          int      // batch ordinals drawn from [1, Batches]
+	NumFaults        int
+	AllowBatchFaults bool // batch faults need a multi-node deployment (codec active)
+}
+
+// RandomPlan draws a schedule from the seeded generator. The generator is
+// consumed here and only here: two plans with the same seed and config are
+// identical, which is what makes chaos runs replayable.
+func RandomPlan(seed int64, c RandomConfig) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []OpKind{KillAfterTuples, KillAtBarrier}
+	if c.AllowBatchFaults {
+		kinds = append(kinds, CorruptBatch, DropBatch, DelayBatch)
+	}
+	ops := make([]Op, 0, c.NumFaults)
+	for i := 0; i < c.NumFaults; i++ {
+		o := Op{Kind: kinds[rng.Intn(len(kinds))], Instance: -1}
+		if len(c.Ops) > 0 {
+			o.Op = c.Ops[rng.Intn(len(c.Ops))]
+		}
+		if c.Instances > 1 {
+			o.Instance = rng.Intn(c.Instances)
+		}
+		switch o.Kind {
+		case KillAfterTuples:
+			o.N = 1 + rng.Intn(max(1, c.MaxTuples))
+		case KillAtBarrier:
+			o.Barrier = uint64(1 + rng.Intn(max(1, c.Barriers)))
+		default:
+			o.N = 1 + rng.Intn(max(1, c.Batches))
+		}
+		ops = append(ops, o)
+	}
+	return NewPlan(ops...)
+}
+
+// Ops returns a copy of the schedule.
+func (p *Plan) Ops() []Op {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]Op(nil), p.ops...)
+}
+
+// Fired returns a description of every injection that has fired, in order.
+func (p *Plan) Fired() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.firedLog...)
+}
+
+func (p *Plan) matches(o *Op, op string, instance int) bool {
+	return (o.Op == "" || o.Op == op) && (o.Instance < 0 || o.Instance == instance)
+}
+
+// BeforeTuple implements spe.FaultHook: count the tuple and kill the
+// instance if a KillAfterTuples op comes due.
+func (p *Plan) BeforeTuple(op string, instance int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := instKey{op: op, instance: instance}
+	p.tuples[k]++
+	n := p.tuples[k]
+	for i := range p.ops {
+		o := &p.ops[i]
+		if o.Kind != KillAfterTuples || p.fired[i] || !p.matches(o, op, instance) || o.N != n {
+			continue
+		}
+		p.fired[i] = true
+		why := fmt.Sprintf("%v fired at %s[%d]", *o, op, instance)
+		p.firedLog = append(p.firedLog, why)
+		panic(Injected{Why: why})
+	}
+}
+
+// AtBarrier implements spe.FaultHook: kill the instance at barrier
+// alignment if a KillAtBarrier op comes due.
+func (p *Plan) AtBarrier(op string, instance int, barrier uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.ops {
+		o := &p.ops[i]
+		if o.Kind != KillAtBarrier || p.fired[i] || !p.matches(o, op, instance) || o.Barrier != barrier {
+			continue
+		}
+		p.fired[i] = true
+		why := fmt.Sprintf("%v fired at %s[%d]", *o, op, instance)
+		p.firedLog = append(p.firedLog, why)
+		panic(Injected{Why: why})
+	}
+}
+
+// OnBatch implements spe.FaultHook: count the encoded exchange batch and
+// apply the first due batch fault. Corruption poisons the payload so
+// decoding fails deterministically — it must never decode into silently
+// wrong data, or injected faults could change committed output instead of
+// just killing instances.
+func (p *Plan) OnBatch(op string, instance int, encoded []byte) ([]byte, spe.BatchFault) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := instKey{op: op, instance: instance}
+	p.batches[k]++
+	n := p.batches[k]
+	for i := range p.ops {
+		o := &p.ops[i]
+		switch o.Kind {
+		case CorruptBatch, DropBatch, DelayBatch:
+		default:
+			continue
+		}
+		if p.fired[i] || !p.matches(o, op, instance) || o.N != n {
+			continue
+		}
+		p.fired[i] = true
+		p.firedLog = append(p.firedLog, fmt.Sprintf("%v fired at %s[%d]", *o, op, instance))
+		switch o.Kind {
+		case CorruptBatch:
+			return []byte{0xFF}, spe.BatchOK // bad version byte: decode must fail
+		case DropBatch:
+			return encoded, spe.BatchDrop
+		default:
+			return encoded, spe.BatchDelay
+		}
+	}
+	return encoded, spe.BatchOK
+}
+
+// BeforePredicate implements the core engine's predicate hook: panic while
+// evaluating a scheduled query's predicate. Not one-shot — it keeps firing
+// until the engine quarantines the query.
+func (p *Plan) BeforePredicate(stream, queryID int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i := range p.ops {
+		o := &p.ops[i]
+		if o.Kind != PanicPredicate || o.QueryID != queryID {
+			continue
+		}
+		p.predHits[queryID]++
+		if p.predHits[queryID] <= 8 { // cap the log, not the fault
+			p.firedLog = append(p.firedLog, fmt.Sprintf("%v fired on stream %d", *o, stream))
+		}
+		panic(Injected{Why: fmt.Sprintf("predicate panic for query %d", queryID)})
+	}
+}
+
+var _ spe.FaultHook = (*Plan)(nil)

@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"astream/internal/spe"
+)
+
+func mustPanic(t *testing.T, why string, fn func()) (v any) {
+	t.Helper()
+	defer func() {
+		v = recover()
+		if v == nil {
+			t.Fatalf("%s: expected panic", why)
+		}
+		if _, ok := v.(Injected); !ok {
+			t.Fatalf("%s: panic value %T, want fault.Injected", why, v)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func TestKillAfterTuplesFiresOnceAtThreshold(t *testing.T) {
+	p := NewPlan(Op{Kind: KillAfterTuples, Op: "select-0", Instance: 1, N: 3})
+	// Non-matching op/instance never fires.
+	for i := 0; i < 10; i++ {
+		p.BeforeTuple("select-0", 0)
+		p.BeforeTuple("join-0", 1)
+	}
+	p.BeforeTuple("select-0", 1)
+	p.BeforeTuple("select-0", 1)
+	mustPanic(t, "third matching tuple", func() { p.BeforeTuple("select-0", 1) })
+	// One-shot: the instance restarts and reprocesses without re-dying.
+	for i := 0; i < 10; i++ {
+		p.BeforeTuple("select-0", 1)
+	}
+	if got := p.Fired(); len(got) != 1 || !strings.Contains(got[0], "kill-after-tuples") {
+		t.Fatalf("fired log = %v", got)
+	}
+}
+
+func TestKillAtBarrier(t *testing.T) {
+	p := NewPlan(Op{Kind: KillAtBarrier, Op: "aggregate", Instance: -1, Barrier: 2})
+	p.AtBarrier("aggregate", 0, 1)
+	p.AtBarrier("select-0", 0, 2) // wrong op
+	mustPanic(t, "barrier 2", func() { p.AtBarrier("aggregate", 1, 2) })
+	p.AtBarrier("aggregate", 0, 2) // one-shot
+}
+
+func TestBatchFaults(t *testing.T) {
+	p := NewPlan(
+		Op{Kind: DropBatch, Op: "src-0", Instance: 0, N: 2},
+		Op{Kind: CorruptBatch, Op: "src-0", Instance: 0, N: 3},
+		Op{Kind: DelayBatch, Op: "src-0", Instance: 0, N: 4},
+	)
+	payload := []byte{1, 2, 3}
+	if got, bf := p.OnBatch("src-0", 0, payload); bf != spe.BatchOK || !reflect.DeepEqual(got, payload) {
+		t.Fatalf("batch 1: %v %v", got, bf)
+	}
+	if _, bf := p.OnBatch("src-0", 0, payload); bf != spe.BatchDrop {
+		t.Fatalf("batch 2 not dropped: %v", bf)
+	}
+	if got, bf := p.OnBatch("src-0", 0, payload); bf != spe.BatchOK || reflect.DeepEqual(got, payload) {
+		t.Fatalf("batch 3 not corrupted: %v %v", got, bf)
+	}
+	if _, bf := p.OnBatch("src-0", 0, payload); bf != spe.BatchDelay {
+		t.Fatalf("batch 4 not delayed: %v", bf)
+	}
+	// All one-shot.
+	if got, bf := p.OnBatch("src-0", 0, payload); bf != spe.BatchOK || !reflect.DeepEqual(got, payload) {
+		t.Fatalf("batch 5: %v %v", got, bf)
+	}
+	if len(p.Fired()) != 3 {
+		t.Fatalf("fired log = %v", p.Fired())
+	}
+}
+
+func TestPredicatePanicKeepsFiring(t *testing.T) {
+	p := NewPlan(Op{Kind: PanicPredicate, QueryID: 7})
+	p.BeforePredicate(0, 6) // other query untouched
+	for i := 0; i < 5; i++ {
+		mustPanic(t, "predicate", func() { p.BeforePredicate(0, 7) })
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	cfg := RandomConfig{
+		Ops: []string{"src-0", "select-0", "join-0", "aggregate"}, Instances: 2,
+		MaxTuples: 100, Barriers: 5, Batches: 10, NumFaults: 6, AllowBatchFaults: true,
+	}
+	a, b := RandomPlan(42, cfg), RandomPlan(42, cfg)
+	if !reflect.DeepEqual(a.Ops(), b.Ops()) {
+		t.Fatalf("same seed diverged:\n%v\n%v", a.Ops(), b.Ops())
+	}
+	c := RandomPlan(43, cfg)
+	if reflect.DeepEqual(a.Ops(), c.Ops()) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	if len(a.Ops()) != 6 {
+		t.Fatalf("ops = %v", a.Ops())
+	}
+	// Without batch faults, only kill kinds appear.
+	cfg.AllowBatchFaults = false
+	for _, o := range RandomPlan(7, cfg).Ops() {
+		if o.Kind != KillAfterTuples && o.Kind != KillAtBarrier {
+			t.Fatalf("unexpected kind %v without AllowBatchFaults", o.Kind)
+		}
+	}
+}

@@ -8,7 +8,9 @@ package lint
 // runtime, windows, checkpointing, changelog, cluster — must use the
 // injected NowNanos clock. The maporder scope names the packages whose
 // outputs must be deterministic: checkpoint encoding, changelog emission,
-// result routing, and the runtime/cluster exchanges.
+// result routing, and the runtime/cluster exchanges. The supervised-go
+// scope names the runtime packages whose goroutines must enter through the
+// panic-capturing supervisor, so no operator panic can kill the process.
 func ModuleAnalyzers(modPath string) []*Analyzer {
 	wallclockAllow := []string{
 		modPath + "/internal/metrics",
@@ -26,6 +28,10 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		modPath + "/internal/spe",
 		modPath + "/internal/cluster",
 	}
+	supervisedScope := []string{
+		modPath + "/internal/spe",
+		modPath + "/internal/core",
+	}
 	return []*Analyzer{
 		NewWallclock(wallclockAllow),
 		NewLockHeldSend(),
@@ -33,5 +39,6 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		NewMapOrder(mapOrderScope),
 		NewLeakyGo(),
 		NewNakedAtomic(),
+		NewSupervisedGo(supervisedScope),
 	}
 }

@@ -125,6 +125,20 @@ func TestNakedAtomicFixture(t *testing.T) {
 	checkFixture(t, "nakedatomic", []*Analyzer{NewNakedAtomic()})
 }
 
+func TestSupervisedGoFixture(t *testing.T) {
+	checkFixture(t, "supervisedgo", []*Analyzer{NewSupervisedGo(nil)})
+}
+
+// TestSupervisedGoScope verifies the path scoping: the same fixture is
+// silent when the analyzer is scoped to other packages.
+func TestSupervisedGoScope(t *testing.T) {
+	p := loadFixture(t, "supervisedgo")
+	diags := Run([]*Package{p}, []*Analyzer{NewSupervisedGo([]string{"mod/internal/spe"})})
+	if len(diags) != 0 {
+		t.Errorf("out-of-scope package produced %d diagnostics: %v", len(diags), diags)
+	}
+}
+
 // TestIgnoreFixture proves the //lint:ignore machinery end to end: the
 // same-line, own-line, and "all" directives suppress their findings (no
 // want comment, so any survivor fails as unexpected), a directive naming a

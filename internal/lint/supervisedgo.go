@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// NewSupervisedGo builds the goroutine-supervision analyzer. The robustness
+// contract says no operator goroutine may kill the process: every goroutine
+// spawned inside the runtime packages must enter through a panic-capturing
+// supervisor, which converts panics into structured InstanceFailures the
+// coordinator can recover from. The analyzer enforces the naming seam of
+// that contract in the packages in scope (exact path or "prefix/..."
+// pattern; empty scope = every package): a `go` statement must either spawn
+// a function whose name contains "supervised" (case-insensitive), or spawn
+// a function literal that calls one. Anything else is an unsupervised
+// goroutine and is flagged; deliberate exceptions carry //lint:ignore with
+// a reason.
+func NewSupervisedGo(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "supervised-go",
+		Doc:  "flags go statements in runtime packages that bypass the panic-capturing supervisor",
+	}
+	a.Run = func(p *Package) []Diagnostic {
+		if len(scope) > 0 && !pathMatches(p.Path, scope) {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if supervisedSpawn(g.Call) {
+					return true
+				}
+				diags = append(diags, a.Diag(p, g.Go,
+					"goroutine launched outside the supervisor: spawn a *supervised* entry point (or wrap the body in one) so a panic becomes an InstanceFailure instead of killing the process"))
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// supervisedSpawn reports whether the spawned call enters a supervisor:
+// either the callee's own name says so, or the spawned literal hands
+// control to such a function somewhere in its body.
+func supervisedSpawn(call *ast.CallExpr) bool {
+	if isSupervisedName(call.Fun) {
+		return true
+	}
+	lit, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if inner, ok := n.(*ast.CallExpr); ok && isSupervisedName(inner.Fun) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isSupervisedName reports whether the callee expression names a function
+// containing "supervised" (case-insensitive), unwrapping selectors.
+func isSupervisedName(fun ast.Expr) bool {
+	var name string
+	switch f := fun.(type) {
+	case *ast.Ident:
+		name = f.Name
+	case *ast.SelectorExpr:
+		name = f.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "supervised")
+}

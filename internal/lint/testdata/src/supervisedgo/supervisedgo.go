@@ -1,0 +1,54 @@
+// Package supervisedgo is a lint fixture: every goroutine spawned in the
+// runtime packages must enter through a panic-capturing supervisor — by
+// spawning a *supervised* entry point directly, or by wrapping the body in
+// one inside the spawned literal. Bare spawns are flagged; //lint:ignore
+// with a reason is the deliberate escape hatch.
+package supervisedgo
+
+import "sync"
+
+type rt struct{}
+
+func (r *rt) runSupervised(wg *sync.WaitGroup) { wg.Done() }
+func (r *rt) run()                             {}
+
+// RunSupervised is a package-level supervisor wrapper.
+func RunSupervised(fn func()) {
+	defer func() { recover() }()
+	fn()
+}
+
+func goodDirect(wg *sync.WaitGroup) {
+	r := &rt{}
+	go r.runSupervised(wg)
+}
+
+func goodWrappedLiteral() {
+	go func() {
+		RunSupervised(func() {})
+	}()
+}
+
+func badBareMethod() {
+	r := &rt{}
+	go r.run() // want "outside the supervisor"
+}
+
+func badBareLiteral() {
+	go func() { // want "outside the supervisor"
+		_ = 1 + 1
+	}()
+}
+
+func badNamedFunc() {
+	go helper() // want "outside the supervisor"
+}
+
+func helper() {}
+
+func ignoredTeardown(done chan struct{}) {
+	//lint:ignore supervised-go fixture: close-only teardown helper cannot panic
+	go func() {
+		close(done)
+	}()
+}

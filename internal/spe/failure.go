@@ -1,0 +1,66 @@
+package spe
+
+import "fmt"
+
+// InstanceFailure describes one operator instance's death: a panic escaping
+// an operator callback, a codec round-trip failure on an exchange edge, or a
+// violated runtime invariant (changelog gap, overlapping barriers). With a
+// FailureSink installed the failure is reported instead of crashing the
+// process; the job manager decides whether to recover the job from its last
+// checkpoint or quarantine the offending query.
+type InstanceFailure struct {
+	Op       string // topology node name of the chain head
+	Instance int
+	Reason   string
+	Panic    any    // recovered panic value, nil for propagated errors
+	Stack    []byte // goroutine stack at the panic site, nil otherwise
+}
+
+// Error implements error.
+func (f InstanceFailure) Error() string {
+	return fmt.Sprintf("spe: instance %s[%d] failed: %s", f.Op, f.Instance, f.Reason)
+}
+
+// FailureSink receives instance failures. Implementations must be safe for
+// concurrent use: every instance goroutine of a job reports here.
+type FailureSink interface {
+	OnInstanceFailure(f InstanceFailure)
+}
+
+// FailureFunc adapts a function to FailureSink.
+type FailureFunc func(f InstanceFailure)
+
+// OnInstanceFailure implements FailureSink.
+func (fn FailureFunc) OnInstanceFailure(f InstanceFailure) { fn(f) }
+
+// BatchFault is a fault hook's verdict on one encoded exchange batch.
+type BatchFault uint8
+
+const (
+	// BatchOK ships the (possibly rewritten) payload.
+	BatchOK BatchFault = iota
+	// BatchDrop discards the batch, simulating a failed link. The emitting
+	// instance fails: lost tuples must force recovery, never silent gaps.
+	BatchDrop
+	// BatchDelay holds the batch for one flush round. Per-edge FIFO order is
+	// preserved — the batch still precedes any later element on its edge.
+	BatchDelay
+)
+
+// FaultHook is the deterministic fault-injection seam threaded through a
+// deployment (nil in production). Implementations decide, from their own
+// seeded schedule, whether to act at each site; acting means panicking
+// (BeforeTuple/AtBarrier — the supervisor converts it into an
+// InstanceFailure) or returning a fault verdict (OnBatch). Hooks are called
+// from instance goroutines and must be safe for concurrent use.
+type FaultHook interface {
+	// BeforeTuple runs before each data tuple enters an instance's chain.
+	BeforeTuple(op string, instance int)
+	// AtBarrier runs when an instance completes barrier alignment, before
+	// its snapshots are cut — a kill here recovers from the previous
+	// checkpoint, not this one.
+	AtBarrier(op string, instance int, barrier uint64)
+	// OnBatch inspects one encoded cross-node batch and may rewrite
+	// (corrupt), drop, or delay it.
+	OnBatch(op string, instance int, encoded []byte) ([]byte, BatchFault)
+}

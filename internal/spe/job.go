@@ -2,6 +2,7 @@ package spe
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"astream/internal/event"
@@ -24,6 +25,8 @@ type DeployOption func(*deployConfig)
 type deployConfig struct {
 	codec    EdgeCodec
 	snapSink SnapshotSink
+	failSink FailureSink
+	hook     FaultHook
 }
 
 // WithEdgeCodec installs a codec applied to every element crossing cluster
@@ -35,6 +38,19 @@ func WithEdgeCodec(c EdgeCodec) DeployOption {
 // WithSnapshotSink installs the receiver for checkpoint snapshots.
 func WithSnapshotSink(s SnapshotSink) DeployOption {
 	return func(d *deployConfig) { d.snapSink = s }
+}
+
+// WithFailureSink installs the receiver for instance failures. Without one,
+// instance panics and invariant violations crash the process (fail-fast);
+// with one, they are reported and the job keeps draining.
+func WithFailureSink(s FailureSink) DeployOption {
+	return func(d *deployConfig) { d.failSink = s }
+}
+
+// WithFaultHook installs a deterministic fault-injection hook on every
+// instance and exchange emitter (tests only; nil in production).
+func WithFaultHook(h FaultHook) DeployOption {
+	return func(d *deployConfig) { d.hook = h }
 }
 
 // Deploy validates the topology, plans operator chains, builds every
@@ -98,6 +114,8 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 		for i := 0; i < n.parallelism; i++ {
 			rt := newInstanceRT(n, i, newMembers(run, i), senders, t.channelCap)
 			rt.snapSink = cfg.snapSink
+			rt.failSink = cfg.failSink
+			rt.hook = cfg.hook
 			rts[i] = rt
 		}
 		j.insts[n] = rts
@@ -117,6 +135,8 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 			rt := newInstanceRT(run[0], i, newMembers(run, i), 1, 0)
 			rt.inbox = nil
 			rt.snapSink = cfg.snapSink
+			rt.failSink = cfg.failSink
+			rt.hook = cfg.hook
 			rts[i] = rt
 		}
 		embedded[n] = rts
@@ -150,6 +170,9 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 			batchSize:  t.exchangeBatch,
 			nowNanos:   t.nowNanos,
 			flushNanos: t.flushNanos,
+			opName:     u.name,
+			instance:   ui,
+			hook:       cfg.hook,
 		}
 		for _, d := range t.nodes {
 			for pi, in := range d.inputs {
@@ -189,9 +212,9 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 				if next[n] != nil {
 					rt := embedded[n][i]
 					wireChain(rt, i)
-					ctxs[i] = &SourceContext{chain: rt}
+					ctxs[i] = &SourceContext{chain: rt, opName: rt.op.name, instance: i, failSink: cfg.failSink}
 				} else {
-					ctxs[i] = &SourceContext{emitter: emitterFor(n, i)}
+					ctxs[i] = &SourceContext{emitter: emitterFor(n, i), opName: n.name, instance: i, failSink: cfg.failSink}
 				}
 			}
 			j.sources[n] = ctxs
@@ -213,14 +236,31 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 		}
 		for _, rt := range j.insts[n] {
 			j.wg.Add(1)
-			go func(rt *instanceRT) {
-				defer j.wg.Done()
-				rt.run()
-			}(rt)
+			go rt.runSupervised(&j.wg)
 		}
 	}
 	j.deployed = true
 	return j, nil
+}
+
+// PrimeChangelogSeq seeds every instance's changelog dedup counter, so a job
+// recovered from a checkpoint accepts its first replayed changelog at seq+1
+// instead of tripping the gap invariant. Must be called before any input is
+// pushed: the instance goroutines only read the counter after their first
+// inbox receive, so the channel send orders this write safely.
+func (j *Job) PrimeChangelogSeq(seq uint64) {
+	for _, rts := range j.insts {
+		for _, rt := range rts {
+			rt.clSeq = seq
+		}
+	}
+	for _, ctxs := range j.sources {
+		for _, c := range ctxs {
+			if c.chain != nil {
+				c.chain.clSeq = seq
+			}
+		}
+	}
 }
 
 // SourceContext returns the push interface for one source instance.
@@ -262,63 +302,151 @@ func (j *Job) Stop() {
 // source heads a fused chain, that chain runs embedded here: every emission
 // drives the chained logics synchronously on the calling goroutine, and the
 // chain tail's exchange emitter is the first channel hop.
+//
+// An embedded chain has no goroutine of its own, so the SourceContext is its
+// supervisor: a panic in a chained logic (or an edge fault on the tail
+// emitter) marks the context failed and is reported to the failure sink;
+// further emissions are discarded and Close still propagates EOS so the rest
+// of the job drains.
 type SourceContext struct {
-	emitter *Emitter    // exchange emitter (nil when the source heads a chain)
-	chain   *instanceRT // embedded chain driven in-line (nil otherwise)
-	closed  bool
+	emitter  *Emitter    // exchange emitter (nil when the source heads a chain)
+	chain    *instanceRT // embedded chain driven in-line (nil otherwise)
+	closed   bool
+	failed   bool
+	opName   string
+	instance int
+	failSink FailureSink
+}
+
+// out returns the exchange emitter this context ultimately feeds.
+func (s *SourceContext) out() *Emitter {
+	if s.chain != nil {
+		return s.chain.emitter
+	}
+	return s.emitter
+}
+
+// guardSupervised converts a panic unwinding out of an embedded chain into
+// an InstanceFailure (deferred around every emission).
+func (s *SourceContext) guardSupervised() {
+	pv := recover()
+	if pv == nil {
+		return
+	}
+	if s.failSink == nil {
+		panic(pv) // no supervisor installed: stay fail-fast
+	}
+	s.failed = true
+	s.failSink.OnInstanceFailure(InstanceFailure{
+		Op:       s.opName,
+		Instance: s.instance,
+		Reason:   fmt.Sprint(pv),
+		Panic:    pv,
+		Stack:    debug.Stack(),
+	})
+}
+
+// failWith reports a propagated (non-panic) failure once.
+func (s *SourceContext) failWith(err error) {
+	if err == nil || s.failed {
+		return
+	}
+	if s.failSink == nil {
+		panic(err.Error())
+	}
+	s.failed = true
+	s.failSink.OnInstanceFailure(InstanceFailure{Op: s.opName, Instance: s.instance, Reason: err.Error()})
 }
 
 // EmitTuple pushes a data tuple.
 func (s *SourceContext) EmitTuple(t event.Tuple) {
+	if s.failed {
+		return
+	}
+	defer s.guardSupervised()
 	if s.chain != nil {
+		if s.chain.hook != nil {
+			s.chain.hook.BeforeTuple(s.chain.op.name, s.chain.instance)
+		}
 		head := &s.chain.members[0]
 		head.logic.OnTuple(0, t, head.out)
 		s.chain.emitter.maybeTimeFlush()
-		return
+	} else {
+		s.emitter.EmitTuple(t)
+		s.emitter.maybeTimeFlush()
 	}
-	s.emitter.EmitTuple(t)
-	s.emitter.maybeTimeFlush()
+	s.failWith(s.out().Err())
 }
 
 // EmitWatermark asserts no later tuple from this source will have an
 // event-time ≤ wm.
 func (s *SourceContext) EmitWatermark(wm event.Time) {
-	if s.chain != nil {
-		s.chain.onWatermark(0, wm)
+	if s.failed {
 		return
 	}
-	s.emitter.broadcast(event.NewWatermark(wm))
+	defer s.guardSupervised()
+	if s.chain != nil {
+		s.chain.onWatermark(0, wm)
+	} else {
+		s.emitter.broadcast(event.NewWatermark(wm))
+	}
+	s.failWith(s.out().Err())
 }
 
 // EmitChangelog weaves a changelog marker into the stream at event-time at.
 // The payload must implement ChangelogPayload. With a parallel source, every
 // instance must emit every changelog (the runtime deduplicates downstream).
 func (s *SourceContext) EmitChangelog(payload ChangelogPayload, at event.Time) {
-	if s.chain != nil {
-		s.chain.onChangelog(event.NewChangelog(payload, at))
+	if s.failed {
 		return
 	}
-	s.emitter.broadcast(event.NewChangelog(payload, at))
+	defer s.guardSupervised()
+	if s.chain != nil {
+		s.failWith(s.chain.onChangelog(event.NewChangelog(payload, at)))
+	} else {
+		s.emitter.broadcast(event.NewChangelog(payload, at))
+	}
+	s.failWith(s.out().Err())
 }
 
 // EmitBarrier injects a checkpoint barrier.
 func (s *SourceContext) EmitBarrier(id uint64) {
-	if s.chain != nil {
-		s.chain.onBarrier(0, id)
+	if s.failed {
 		return
 	}
-	s.emitter.broadcast(event.NewBarrier(id))
+	defer s.guardSupervised()
+	if s.chain != nil {
+		s.failWith(s.chain.onBarrier(0, id))
+	} else {
+		s.emitter.broadcast(event.NewBarrier(id))
+	}
+	s.failWith(s.out().Err())
 }
 
 // Close signals end of stream. Further emissions are a programming error.
+// On a failed context the chain drain is skipped (its state is already
+// suspect); EOS still reaches downstream so the job can finish.
 func (s *SourceContext) Close() {
 	if s.closed {
 		return
 	}
 	s.closed = true
-	if s.chain != nil {
-		s.chain.sourceClose()
-		return
+	if !s.failed {
+		func() {
+			defer s.guardSupervised()
+			if s.chain != nil {
+				s.failWith(s.chain.sourceClose())
+			} else {
+				s.emitter.broadcast(event.EOS())
+			}
+		}()
+		if !s.failed {
+			return
+		}
 	}
-	s.emitter.broadcast(event.EOS())
+	// Failed before or during close: drop pending output and force EOS out
+	// (downstream deduplicates a second EOS from the same sender).
+	em := s.out()
+	em.discardPending()
+	em.broadcastRaw(event.EOS())
 }

@@ -2,6 +2,7 @@ package spe
 
 import (
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"astream/internal/event"
@@ -104,7 +105,27 @@ type Emitter struct {
 	flushNanos   int64 // ≤0 disables time-based flushing
 	pendingSince int64 // first deadline check that observed pending batches
 	sinceCheck   int   // elements since the last deadline check
+
+	// Failure surface: the first edge fault (codec round-trip failure,
+	// injected drop) sticks here; the owning instance checks Err after each
+	// message and unwinds through its supervisor. opName/instance identify
+	// the emitting operator in failure reports and fault-hook callbacks.
+	err      error
+	opName   string
+	instance int
+	hook     FaultHook
 }
+
+// fail records the first edge fault; later faults are dropped (the instance
+// is already doomed and the first cause is the one worth reporting).
+func (e *Emitter) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}
+
+// Err returns the sticky edge fault, if any.
+func (e *Emitter) Err() error { return e.err }
 
 // directLink connects a chained emitter to the next logic in its fused
 // chain, along with the emitter that logic's own emissions go to.
@@ -202,24 +223,58 @@ func (e *Emitter) flushTarget(tg *target) {
 	e.adapt(tg)
 	if tg.crossNode && e.codec != nil {
 		if bc, ok := e.codec.(BatchCodec); ok {
-			dec, err := bc.DecodeBatch(bc.EncodeBatch(batch))
-			if err != nil {
-				panic(fmt.Sprintf("spe: edge codec batch round-trip failed: %v", err))
+			enc := bc.EncodeBatch(batch)
+			if e.hook != nil {
+				var bf BatchFault
+				enc, bf = e.hook.OnBatch(e.opName, e.instance, enc)
+				switch bf {
+				case BatchDrop:
+					// A dropped batch is lost data: fail the instance so the
+					// barrier gate (completeBarrier) keeps the lossy epoch
+					// from ever committing, and recovery re-delivers from
+					// the log.
+					putBatch(batch)
+					//lint:ignore hotalloc cold failure path: the boxing happens once, when an injected link fault has already doomed the epoch
+					e.fail(fmt.Errorf("spe: %s[%d] exchange batch dropped (injected link failure)", e.opName, e.instance))
+					return
+				case BatchDelay:
+					// Hold the batch one flush round. Per-edge order is
+					// preserved: broadcast re-flushes before sending any
+					// control element on this edge.
+					tg.buf = batch
+					e.pending++
+					return
+				}
 			}
-			putBatch(batch)
-			batch = dec
+			dec, err := bc.DecodeBatch(enc)
+			if err != nil {
+				// Ship the still-intact original so downstream stays
+				// consistent; the sticky error fails this instance and the
+				// job manager decides between recovery and teardown.
+				e.fail(fmt.Errorf("spe: edge codec batch round-trip failed: %v", err))
+			} else {
+				putBatch(batch)
+				batch = dec
+			}
 		} else {
 			dec := getBatch(len(batch))
+			ok := true
 			for i := range batch {
 				el, err := e.codec.Decode(e.codec.Encode(event.NewTuple(batch[i])))
 				if err != nil {
-					panic(fmt.Sprintf("spe: edge codec round-trip failed: %v", err))
+					e.fail(fmt.Errorf("spe: edge codec round-trip failed: %v", err))
+					ok = false
+					break
 				}
 				//lint:ignore hotalloc cross-node codec path appends into a pooled buffer sized to the batch
 				dec = append(dec, el.Tuple)
 			}
-			putBatch(batch)
-			batch = dec
+			if ok {
+				putBatch(batch)
+				batch = dec
+			} else {
+				putBatch(dec)
+			}
 		}
 	}
 	tg.ch <- message{sender: tg.sender, port: tg.port, batch: batch}
@@ -292,14 +347,49 @@ func (e *Emitter) maybeTimeFlush() {
 
 // broadcast delivers a control element to every target of every consumer,
 // flushing pending tuple batches first so the control element never
-// overtakes data.
+// overtakes data. A failed emitter forwards nothing: data may already be
+// lost on an edge, and letting a barrier (or watermark) past the loss would
+// commit an inconsistent epoch.
 func (e *Emitter) broadcast(el event.Element) {
 	e.flushAll()
+	if e.pending > 0 {
+		// An injected delay held a batch back; it must still precede any
+		// control element on its edge.
+		e.flushAll()
+	}
+	if e.err != nil {
+		return
+	}
 	for ci := range e.consumers {
 		for ti := range e.consumers[ci].targets {
 			e.send(&e.consumers[ci].targets[ti], el)
 		}
 	}
+}
+
+// broadcastRaw delivers a control element without flushing and regardless of
+// the sticky error — the teardown path, where EOS must reach downstream so
+// the rest of the job can finish even though this instance is dead.
+func (e *Emitter) broadcastRaw(el event.Element) {
+	for ci := range e.consumers {
+		for ti := range e.consumers[ci].targets {
+			e.send(&e.consumers[ci].targets[ti], el)
+		}
+	}
+}
+
+// discardPending drops every pending batch buffer (teardown path).
+func (e *Emitter) discardPending() {
+	for ci := range e.consumers {
+		for ti := range e.consumers[ci].targets {
+			tg := &e.consumers[ci].targets[ti]
+			if tg.buf != nil {
+				putBatch(tg.buf)
+				tg.buf = nil
+			}
+		}
+	}
+	e.pending = 0
 }
 
 func (e *Emitter) send(tg *target, el event.Element) {
@@ -309,14 +399,17 @@ func (e *Emitter) send(tg *target, el event.Element) {
 		payload := el.Changelog
 		dec, err := e.codec.Decode(e.codec.Encode(el))
 		if err != nil {
-			panic(fmt.Sprintf("spe: edge codec round-trip failed: %v", err))
+			// Deliver the intact original so control flow is never lost;
+			// the sticky error still fails the instance.
+			e.fail(fmt.Errorf("spe: edge codec round-trip failed: %v", err))
+		} else {
+			// Changelog payloads are control-plane pointers; reattach after
+			// paying the envelope cost (the codec cannot reconstruct them).
+			if dec.Kind == event.KindChangelog {
+				dec.Changelog = payload
+			}
+			el = dec
 		}
-		// Changelog payloads are control-plane pointers; reattach after
-		// paying the envelope cost (the codec cannot reconstruct them).
-		if dec.Kind == event.KindChangelog {
-			dec.Changelog = payload
-		}
-		el = dec
 	}
 	tg.ch <- message{sender: tg.sender, port: tg.port, elem: el}
 }
@@ -348,6 +441,8 @@ type instanceRT struct {
 	senders  int
 	emitter  *Emitter // the chain tail's exchange emitter
 	snapSink SnapshotSink
+	failSink FailureSink // nil: failures re-panic (bare deployments stay fail-fast)
+	hook     FaultHook   // nil in production
 
 	wms        []event.Time // per-sender watermark
 	done       []bool       // per-sender EOS
@@ -380,11 +475,75 @@ func newInstanceRT(op *Node, instance int, members []chainMember, senders int, i
 	return rt
 }
 
+// runSupervised is the per-instance supervisor: the goroutine entry point
+// Deploy starts (astream-vet's supervised-go check keys on this name). Any
+// panic or propagated invariant violation in the main loop becomes a
+// structured InstanceFailure, after which the instance keeps draining its
+// inbox so upstream senders never block and downstream still observes EOS —
+// one dead instance must not wedge or kill the rest of the job.
+func (rt *instanceRT) runSupervised(wg *sync.WaitGroup) {
+	defer wg.Done()
+	f := rt.runCaptured()
+	if f == nil {
+		return
+	}
+	if rt.failSink == nil {
+		// No supervisor installed: preserve the historical fail-fast
+		// behavior for bare deployments.
+		panic(f.Reason)
+	}
+	rt.failSink.OnInstanceFailure(*f)
+	rt.drainDiscard()
+}
+
+// runCaptured runs the main loop, converting panics and propagated errors
+// into a failure report.
+func (rt *instanceRT) runCaptured() (f *InstanceFailure) {
+	defer func() {
+		if pv := recover(); pv != nil {
+			f = &InstanceFailure{
+				Op:       rt.op.name,
+				Instance: rt.instance,
+				Reason:   fmt.Sprint(pv),
+				Panic:    pv,
+				Stack:    debug.Stack(),
+			}
+		}
+	}()
+	if err := rt.run(); err != nil {
+		return &InstanceFailure{Op: rt.op.name, Instance: rt.instance, Reason: err.Error()}
+	}
+	return nil
+}
+
+// drainDiscard consumes the inbox of a failed instance until every sender
+// has delivered EOS, then forwards EOS downstream. Pending output is
+// discarded: the failed epoch never commits, and recovery re-delivers its
+// input from the checkpoint log.
+func (rt *instanceRT) drainDiscard() {
+	//lint:ignore hotalloc teardown path: runs once per instance failure
+	defer func() { _ = recover() }() // teardown must not re-panic
+	for rt.doneCount < rt.senders {
+		msg := <-rt.inbox
+		if msg.batch != nil {
+			putBatch(msg.batch)
+			continue
+		}
+		if msg.elem.Kind == event.KindEOS && !rt.done[msg.sender] {
+			rt.done[msg.sender] = true
+			rt.doneCount++
+		}
+	}
+	rt.emitter.discardPending()
+	rt.emitter.broadcastRaw(event.EOS())
+}
+
 // run is the instance main loop: consume until every sender has sent EOS.
 // Whenever the inbox runs dry the instance flushes its partial output
 // batches before blocking, so downstream staleness under low input rates is
-// bounded by idleness, not by batch fill.
-func (rt *instanceRT) run() {
+// bounded by idleness, not by batch fill. Runtime invariant violations and
+// edge faults surface as the returned error.
+func (rt *instanceRT) run() error {
 	for rt.doneCount < rt.senders {
 		var msg message
 		select {
@@ -393,10 +552,16 @@ func (rt *instanceRT) run() {
 			rt.emitter.flushAll()
 			msg = <-rt.inbox
 		}
-		rt.handle(msg)
+		if err := rt.handle(msg); err != nil {
+			return err
+		}
 		rt.emitter.maybeTimeFlush()
+		if err := rt.emitter.Err(); err != nil {
+			return err
+		}
 	}
 	rt.finish()
+	return rt.emitter.Err()
 }
 
 // finish drains the chain at end-of-stream: each member's OnEOS runs with
@@ -411,33 +576,40 @@ func (rt *instanceRT) finish() {
 }
 
 //lint:hotpath
-func (rt *instanceRT) handle(msg message) {
+func (rt *instanceRT) handle(msg message) error {
 	if rt.aligning && rt.blocked[msg.sender] {
 		//lint:ignore hotalloc barrier alignment only: buffering happens while a checkpoint is in flight
 		rt.buffered = append(rt.buffered, msg)
-		return
+		return nil
 	}
 	if msg.batch != nil {
 		head := &rt.members[0]
 		for i := range msg.batch {
+			if rt.hook != nil {
+				rt.hook.BeforeTuple(rt.op.name, rt.instance)
+			}
 			head.logic.OnTuple(msg.port, msg.batch[i], head.out)
 		}
 		putBatch(msg.batch)
-		return
+		return nil
 	}
 	switch msg.elem.Kind {
 	case event.KindTuple:
+		if rt.hook != nil {
+			rt.hook.BeforeTuple(rt.op.name, rt.instance)
+		}
 		head := &rt.members[0]
 		head.logic.OnTuple(msg.port, msg.elem.Tuple, head.out)
 	case event.KindWatermark:
 		rt.onWatermark(msg.sender, msg.elem.Watermark)
 	case event.KindChangelog:
-		rt.onChangelog(msg.elem)
+		return rt.onChangelog(msg.elem)
 	case event.KindBarrier:
-		rt.onBarrier(msg.sender, msg.elem.Barrier)
+		return rt.onBarrier(msg.sender, msg.elem.Barrier)
 	case event.KindEOS:
-		rt.onEOS(msg.sender)
+		return rt.onEOS(msg.sender)
 	}
+	return nil
 }
 
 func (rt *instanceRT) onWatermark(sender int, wm event.Time) {
@@ -473,17 +645,18 @@ func (rt *instanceRT) advanceWatermark() {
 	rt.emitter.broadcast(event.NewWatermark(min))
 }
 
-func (rt *instanceRT) onChangelog(el event.Element) {
+func (rt *instanceRT) onChangelog(el event.Element) error {
 	payload, ok := el.Changelog.(ChangelogPayload)
 	if !ok {
-		panic(fmt.Sprintf("spe: changelog payload %T does not implement ChangelogPayload", el.Changelog))
+		return fmt.Errorf("spe: changelog payload %T does not implement ChangelogPayload", el.Changelog)
 	}
 	seq := payload.ChangelogSeq()
 	if seq <= rt.clSeq {
-		return // duplicate from another sender
+		return nil // duplicate from another sender
 	}
 	if seq != rt.clSeq+1 {
-		panic(fmt.Sprintf("spe: %s[%d] changelog gap: have %d, got %d", rt.op.name, rt.instance, rt.clSeq, seq))
+		//lint:ignore hotalloc cold error path: formats once on a changelog sequence gap, which fails the instance
+		return fmt.Errorf("spe: %s[%d] changelog gap: have %d, got %d", rt.op.name, rt.instance, rt.clSeq, seq)
 	}
 	rt.clSeq = seq
 	for i := range rt.members {
@@ -491,9 +664,10 @@ func (rt *instanceRT) onChangelog(el event.Element) {
 		m.logic.OnChangelog(el.Changelog, el.Watermark, m.out)
 	}
 	rt.emitter.broadcast(el)
+	return nil
 }
 
-func (rt *instanceRT) onBarrier(sender int, id uint64) {
+func (rt *instanceRT) onBarrier(sender int, id uint64) error {
 	if !rt.aligning {
 		rt.aligning = true
 		rt.barrierID = id
@@ -502,23 +676,32 @@ func (rt *instanceRT) onBarrier(sender int, id uint64) {
 		}
 	}
 	if id != rt.barrierID {
-		panic(fmt.Sprintf("spe: %s[%d] overlapping barriers %d and %d", rt.op.name, rt.instance, rt.barrierID, id))
+		//lint:ignore hotalloc cold error path: formats once on a barrier protocol violation, which fails the instance
+		return fmt.Errorf("spe: %s[%d] overlapping barriers %d and %d", rt.op.name, rt.instance, rt.barrierID, id)
 	}
 	rt.blocked[sender] = true
 	// Aligned when every live sender delivered the barrier.
 	for i := range rt.blocked {
 		if !rt.blocked[i] && !rt.done[i] {
-			return
+			return nil
 		}
 	}
-	rt.completeBarrier(id)
+	return rt.completeBarrier(id)
 }
 
 // completeBarrier runs after input alignment: each chain member snapshots
 // under its own node name (a fused chain still produces one snapshot per
 // operator, so checkpoint accounting is fusion-agnostic), the barrier is
-// forwarded, and buffered input replays.
-func (rt *instanceRT) completeBarrier(id uint64) {
+// forwarded, and buffered input replays. A failed instance stops here
+// without snapshotting: data may already be lost on an output edge, and a
+// completed checkpoint at this barrier would commit that loss.
+func (rt *instanceRT) completeBarrier(id uint64) error {
+	if err := rt.emitter.Err(); err != nil {
+		return err
+	}
+	if rt.hook != nil {
+		rt.hook.AtBarrier(rt.op.name, rt.instance, id)
+	}
 	for i := range rt.members {
 		m := &rt.members[i]
 		state := m.logic.OnBarrier(id, m.out)
@@ -531,39 +714,48 @@ func (rt *instanceRT) completeBarrier(id uint64) {
 	buf := rt.buffered
 	rt.buffered = nil
 	for _, m := range buf {
-		rt.handle(m)
+		if err := rt.handle(m); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
-func (rt *instanceRT) onEOS(sender int) {
+func (rt *instanceRT) onEOS(sender int) error {
 	if rt.done[sender] {
-		return
+		return nil
 	}
 	rt.done[sender] = true
 	rt.doneCount++
 	// A finished sender no longer constrains the watermark; and if it was
 	// the last holdout of a barrier alignment, complete the alignment.
 	if rt.aligning && !rt.blocked[sender] {
-		rt.onBarrierSenderGone()
+		if err := rt.onBarrierSenderGone(); err != nil {
+			return err
+		}
 	}
 	rt.advanceWatermark()
+	return nil
 }
 
 // onBarrierSenderGone re-checks barrier alignment after a sender EOS'd
 // without delivering the pending barrier.
-func (rt *instanceRT) onBarrierSenderGone() {
+func (rt *instanceRT) onBarrierSenderGone() error {
 	for i := range rt.blocked {
 		if !rt.blocked[i] && !rt.done[i] {
-			return
+			return nil
 		}
 	}
-	rt.completeBarrier(rt.barrierID)
+	return rt.completeBarrier(rt.barrierID)
 }
 
 // sourceClose ends a chain embedded in a source instance: the source is the
 // instance's only sender and there is no goroutine to unwind, so EOS and
 // the end-of-stream drain run in-line on the caller.
-func (rt *instanceRT) sourceClose() {
-	rt.onEOS(0)
+func (rt *instanceRT) sourceClose() error {
+	if err := rt.onEOS(0); err != nil {
+		return err
+	}
 	rt.finish()
+	return rt.emitter.Err()
 }

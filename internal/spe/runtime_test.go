@@ -48,39 +48,34 @@ func TestRuntimeWatermarkRegressionIgnored(t *testing.T) {
 	}
 }
 
-func TestRuntimeChangelogGapPanics(t *testing.T) {
+func TestRuntimeChangelogGapFails(t *testing.T) {
 	rec := &recording{}
 	rt := newBareRT(1, rec)
-	rt.handle(message{sender: 0, elem: event.NewChangelog(&testChangelog{1}, 1)})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("changelog seq gap must panic")
-		}
-	}()
-	rt.handle(message{sender: 0, elem: event.NewChangelog(&testChangelog{3}, 3)})
+	if err := rt.handle(message{sender: 0, elem: event.NewChangelog(&testChangelog{1}, 1)}); err != nil {
+		t.Fatalf("in-order changelog: %v", err)
+	}
+	if err := rt.handle(message{sender: 0, elem: event.NewChangelog(&testChangelog{3}, 3)}); err == nil {
+		t.Fatal("changelog seq gap must fail the instance")
+	}
 }
 
-func TestRuntimeBadChangelogPayloadPanics(t *testing.T) {
+func TestRuntimeBadChangelogPayloadFails(t *testing.T) {
 	rec := &recording{}
 	rt := newBareRT(1, rec)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("non-ChangelogPayload must panic")
-		}
-	}()
-	rt.handle(message{sender: 0, elem: event.NewChangelog("not a payload", 1)})
+	if err := rt.handle(message{sender: 0, elem: event.NewChangelog("not a payload", 1)}); err == nil {
+		t.Fatal("non-ChangelogPayload must fail the instance")
+	}
 }
 
-func TestRuntimeOverlappingBarriersPanic(t *testing.T) {
+func TestRuntimeOverlappingBarriersFail(t *testing.T) {
 	rec := &recording{}
 	rt := newBareRT(2, rec)
-	rt.handle(message{sender: 0, elem: event.NewBarrier(1)})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("overlapping barriers must panic")
-		}
-	}()
-	rt.handle(message{sender: 1, elem: event.NewBarrier(2)})
+	if err := rt.handle(message{sender: 0, elem: event.NewBarrier(1)}); err != nil {
+		t.Fatalf("first barrier: %v", err)
+	}
+	if err := rt.handle(message{sender: 1, elem: event.NewBarrier(2)}); err == nil {
+		t.Fatal("overlapping barriers must fail the instance")
+	}
 }
 
 func TestRuntimeBarrierBuffersBlockedSender(t *testing.T) {

@@ -105,6 +105,33 @@ func (s *SessionState) Harvest(wm event.Time) []ClosedSession {
 // accounting).
 func (s *SessionState) Open() int { return len(s.sessions) }
 
+// OpenSession is the exported view of one open session, used by checkpoint
+// snapshots to round-trip session state across a restore.
+type OpenSession struct {
+	Start, End event.Time
+	Sum        int64
+	Count      int64
+}
+
+// OpenSessions returns the open sessions in Start order.
+func (s *SessionState) OpenSessions() []OpenSession {
+	out := make([]OpenSession, len(s.sessions))
+	for i, w := range s.sessions {
+		out[i] = OpenSession{Start: w.Start, End: w.End, Sum: w.Sum, Count: w.Count}
+	}
+	return out
+}
+
+// RestoreSessionState rebuilds a tracker from snapshotted open sessions.
+// The slice must be in Start order, as produced by OpenSessions.
+func RestoreSessionState(gap event.Time, open []OpenSession) *SessionState {
+	s := &SessionState{gap: gap}
+	for _, w := range open {
+		s.sessions = append(s.sessions, sessionWindow{Start: w.Start, End: w.End, Sum: w.Sum, Count: w.Count})
+	}
+	return s
+}
+
 // NextEdgeAll returns the smallest window edge strictly greater than t over
 // all given time-based specs, or event.MaxTime when none apply. Session
 // specs are skipped: their boundaries are data-driven, not time-driven.
