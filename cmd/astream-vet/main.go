@@ -7,18 +7,21 @@
 //
 // Usage:
 //
-//	astream-vet [-list] [-only name,name] [-format text|json]
+//	astream-vet [-list] [-run name,name] [-format text|json]
 //	            [-baseline file] [-write-baseline file] [packages]
 //
 // Package arguments filter by import-path suffix; "./..." (or no
 // argument) means the whole module.
 //
-// -format json emits the stable machine-readable schema (see
-// internal/lint.Report): analyzer, repo-relative file, line/col, message,
-// and the witness call chain for interprocedural findings. -baseline
-// subtracts a committed findings file so CI fails only on new findings
-// (matched by analyzer+file+message, line-insensitive); -write-baseline
-// records the current findings as that file. Exit status is 1 when any
+// -run selects a subset of analyzers by name (default all; -only is the
+// deprecated spelling). -format json emits the stable machine-readable
+// schema (see internal/lint.Report): analyzer, repo-relative file,
+// line/col, message, the witness call chain for interprocedural findings,
+// and the //lint:ignore-suppressed findings with their stated reasons.
+// -baseline subtracts a committed findings file so CI fails only on new
+// findings (matched by analyzer+file+message, line-insensitive);
+// -write-baseline records the current findings as that file (suppressions
+// excluded — they are not regressions). Exit status is 1 when any
 // non-baselined diagnostic survives //lint:ignore suppression.
 package main
 
@@ -34,7 +37,8 @@ import (
 
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
-	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	only := flag.String("only", "", "deprecated alias for -run")
 	format := flag.String("format", "text", "output format: text or json")
 	baseline := flag.String("baseline", "", "baseline findings file to subtract (fail only on new findings)")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
@@ -57,9 +61,16 @@ func main() {
 		}
 		return
 	}
-	if *only != "" {
+	sel := *run
+	if sel == "" {
+		sel = *only
+	} else if *only != "" && *only != *run {
+		fmt.Fprintln(os.Stderr, "astream-vet: -run and -only disagree; use -run")
+		os.Exit(2)
+	}
+	if sel != "" {
 		keep := map[string]bool{}
-		for _, n := range strings.Split(*only, ",") {
+		for _, n := range strings.Split(sel, ",") {
 			keep[strings.TrimSpace(n)] = true
 		}
 		var filtered []*lint.Analyzer
@@ -89,7 +100,7 @@ func main() {
 		}
 	}
 
-	diags := lint.Run(pkgs, analyzers)
+	diags, suppressed := lint.RunAll(pkgs, analyzers)
 	report := lint.NewReport(root, diags)
 
 	if *writeBaseline != "" {
@@ -117,7 +128,11 @@ func main() {
 	}
 
 	if *format == "json" {
-		out := lint.Report{Version: lint.ReportVersion, Findings: findings}
+		out := lint.Report{
+			Version:    lint.ReportVersion,
+			Findings:   findings,
+			Suppressed: lint.SuppressedFindings(root, suppressed),
+		}
 		b, err := out.WriteJSON()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "astream-vet:", err)

@@ -81,8 +81,9 @@ func (c *Changelog) String() string {
 // shared session and its changelogs are broadcast to operators, which keep
 // their own copies of the active-query table.
 type Registry struct {
-	mode    Mode
-	slots   []int       // slot -> query ID or NoQuery
+	mode  Mode
+	slots []int // slot -> query ID or NoQuery
+	//lint:ephemeral derived inverse of the serialized slots table
 	slotOf  map[int]int // query ID -> slot
 	free    []int       // free slots, LIFO (only in SlotReuse mode)
 	seq     uint64

@@ -2,6 +2,7 @@ package changelog
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"astream/internal/bitset"
@@ -395,5 +396,38 @@ func TestSlotReuseCompactness(t *testing.T) {
 func TestModeString(t *testing.T) {
 	if SlotReuse.String() != "slot-reuse" || AppendOnly.String() != "append-only" {
 		t.Error("Mode.String mismatch")
+	}
+}
+
+// TestSnapshotVersionSkew pins the trailing-bytes contract for the
+// changelog types: a snapshot with bytes a newer encoder appended must be
+// rejected, not half-parsed.
+func TestSnapshotVersionSkew(t *testing.T) {
+	reg := NewRegistry(SlotReuse)
+	cl, err := reg.Apply(5, []int{1, 2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := NewTable()
+	if err := tab.Add(cl); err != nil {
+		t.Fatal(err)
+	}
+
+	regSnap := reg.Snapshot()
+	if _, err := RegistryFromSnapshot(regSnap); err != nil {
+		t.Fatalf("clean registry snapshot rejected: %v", err)
+	}
+	if _, err := RegistryFromSnapshot(append(regSnap, 0xEE)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("skewed registry snapshot not rejected loudly: %v", err)
+	}
+
+	tabSnap := tab.Snapshot()
+	if _, err := TableFromSnapshot(tabSnap); err != nil {
+		t.Fatalf("clean table snapshot rejected: %v", err)
+	}
+	if _, err := TableFromSnapshot(append(tabSnap, 0xEE)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("skewed table snapshot not rejected loudly: %v", err)
 	}
 }

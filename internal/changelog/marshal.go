@@ -211,6 +211,9 @@ func TableFromSnapshot(b []byte) (*Table, error) {
 	if r.err != nil {
 		return nil, r.err
 	}
+	if len(r.b) != 0 {
+		return nil, fmt.Errorf("changelog: table snapshot has %d trailing bytes (version skew?)", len(r.b))
+	}
 	return t, nil
 }
 
@@ -272,6 +275,9 @@ func RegistryFromSnapshot(b []byte) (*Registry, error) {
 	}
 	if rd.err != nil {
 		return nil, rd.err
+	}
+	if len(rd.b) != 0 {
+		return nil, fmt.Errorf("changelog: registry snapshot has %d trailing bytes (version skew?)", len(rd.b))
 	}
 	return reg, nil
 }

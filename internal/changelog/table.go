@@ -22,8 +22,9 @@ import (
 // (k ≥ 1) is the state after changelog with Seq == k. Rows older than the
 // oldest live slice are released with Compact.
 type Table struct {
-	base uint64          // epoch of rows[0]
-	logs []*Changelog    // logs[i] transitioned epoch base+i -> base+i+1
+	base uint64       // epoch of rows[0]
+	logs []*Changelog // logs[i] transitioned epoch base+i -> base+i+1
+	//lint:ephemeral derived Equation-1 recurrence over logs, rebuilt by TableFromSnapshot via Add
 	rows [][]bitset.Bits // rows[i][j] = Rel(base+i+? ...) see index()
 	// rows[i] corresponds to epoch e_i = base+i; rows[i][j] = Rel(e_i, base+j)
 	// for j <= i. rows[i][i] is the all-unchanged set of epoch e_i.

@@ -153,10 +153,12 @@ func insertSortedInt64(s []int64, v int64) []int64 {
 // are then discarded; window results combine slice partials.
 type SharedAggregation struct {
 	spe.BaseLogic
-	ports     int
-	sl        *slicer
-	table     *changelog.Table
-	active    map[int]*aggQuery // by query ID
+	ports int
+	sl    *slicer
+	table *changelog.Table
+	//lint:ephemeral derived index over the serialized activeOrdered list
+	active map[int]*aggQuery // by query ID
+	//lint:ephemeral derived index over the serialized selOrdered list
 	selection map[int]*aggQuery // selection queries (terminal at port 0)
 	// activeOrdered/selOrdered mirror the maps sorted by (slot, query ID),
 	// maintained incrementally on changelog and purge: the per-tuple and
@@ -171,21 +173,31 @@ type SharedAggregation struct {
 	// tuple's event-time removes the ambiguity, exactly as the shared
 	// selection resolves its predicate table.
 	maskVersions []maskVersion
-	router       *Router
-	metrics      *OpMetrics
-	lateness     event.Time
-	lastWM       event.Time
-	evictedThru  event.Time
+	//lint:ephemeral constructor wiring (result router)
+	router *Router
+	//lint:ephemeral constructor wiring (metrics sink)
+	metrics *OpMetrics
+	//lint:ephemeral constructor wiring (allowed-lateness config)
+	lateness    event.Time
+	lastWM      event.Time
+	evictedThru event.Time
 
 	// Steady-state scratch (owned by the instance goroutine): query-set
 	// intersection temporaries, the trigger and cap grouping, per-trigger
 	// accumulators, and the aggVal freelist.
-	qsTmp    bitset.Bits
-	effTmp   bitset.Bits
-	trigTmp  []*aggTrigger
-	capTmp   []*aggCapGroup
-	accums   []*slotAccum
-	valPool  []*aggVal
+	//lint:ephemeral per-tuple scratch
+	qsTmp bitset.Bits
+	//lint:ephemeral per-trigger scratch
+	effTmp bitset.Bits
+	//lint:ephemeral per-trigger scratch
+	trigTmp []*aggTrigger
+	//lint:ephemeral per-trigger scratch
+	capTmp []*aggCapGroup
+	//lint:ephemeral per-trigger scratch
+	accums []*slotAccum
+	//lint:ephemeral freelist, refills through steady-state recycling
+	valPool []*aggVal
+	//lint:ephemeral per-trigger scratch
 	specsTmp []window.Spec
 }
 

@@ -44,33 +44,46 @@ type joinQuery struct {
 // style of Figure 4f.
 type SharedJoin struct {
 	spe.BaseLogic
+	//lint:ephemeral topology constant fixed at construction
 	stage     int // 0 joins streams 0⋈1; stage k joins (stage k-1)⋈(stream k+1)
 	storeMode StoreMode
 	sides     [2]*slicer
 	table     *changelog.Table
-	active    map[int]*joinQuery // by query ID
+	//lint:ephemeral derived index over the serialized activeOrdered list
+	active map[int]*joinQuery // by query ID
 	// activeOrdered mirrors active sorted by (slot, query ID): the
 	// watermark-path iteration order is maintained incrementally on
 	// changelog/purge instead of sorted per emission (replay determinism
 	// without hot-path sorts).
 	activeOrdered []*joinQuery
-	router        *Router
-	metrics       *OpMetrics
-	lateness      event.Time
-	lastWM        event.Time
+	//lint:ephemeral constructor wiring (result router)
+	router *Router
+	//lint:ephemeral constructor wiring (metrics sink)
+	metrics *OpMetrics
+	//lint:ephemeral constructor wiring (allowed-lateness config)
+	lateness event.Time
+	lastWM   event.Time
 
-	pairCache    map[uint64][]event.JoinedTuple
+	//lint:ephemeral derived memoization over slice contents, reset by Restore and refilled on demand
+	pairCache map[uint64][]event.JoinedTuple
+	//lint:ephemeral derived eviction index for pairCache, reset alongside it
 	pairsBySlice map[uint64][]uint64 // slice id -> pair keys to drop on evict
 	evictedThru  [2]event.Time
 
 	// Steady-state scratch (owned by the instance goroutine, §3.2.2's
 	// no-allocation discipline): the slice ⋈ slice kernel index, the
 	// per-trigger grouping, and the query-set intersection temporaries.
-	scratch  joinScratch
-	trigTmp  []*joinTrigger
-	capTmp   []*capGroup
-	effTmp   bitset.Bits
-	pmTmp    bitset.Bits
+	//lint:ephemeral per-trigger scratch
+	scratch joinScratch
+	//lint:ephemeral per-trigger scratch
+	trigTmp []*joinTrigger
+	//lint:ephemeral per-trigger scratch
+	capTmp []*capGroup
+	//lint:ephemeral per-trigger scratch
+	effTmp bitset.Bits
+	//lint:ephemeral per-trigger scratch
+	pmTmp bitset.Bits
+	//lint:ephemeral per-trigger scratch
 	specsTmp []window.Spec
 }
 

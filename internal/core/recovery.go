@@ -64,6 +64,7 @@ func (e *Engine) predicatePanicked(queryID int, _ any) {
 	e.failMu.Unlock()
 	// Already-stopped is fine; the strike count only grows while the
 	// query's entries are still installed.
+	//lint:ignore errsink quarantine is best-effort: a concurrent StopQuery losing the race is the desired end state
 	_, _ = e.StopQuery(queryID)
 }
 
@@ -160,8 +161,8 @@ func (e *Engine) RestoreControl(snapshot []byte) error {
 			defs[q.ID] = q
 		}
 	}
-	if r.err != nil {
-		return r.err
+	if err := r.finish("control"); err != nil {
+		return err
 	}
 
 	e.registry = reg

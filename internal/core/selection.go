@@ -66,22 +66,28 @@ type selVersion struct {
 // out-of-order processing consistent (§3.3).
 type SharedSelection struct {
 	spe.BaseLogic
+	//lint:ephemeral constructor wiring, identical on the recovered instance
 	stream   int // which engine stream this instance filters
 	versions []selVersion
-	metrics  *OpMetrics
+	//lint:ephemeral constructor wiring (metrics sink)
+	metrics *OpMetrics
+	//lint:ephemeral constructor wiring (allowed-lateness config)
 	lateness event.Time
 	wm       event.Time
 	// qsTmp is the per-tuple query-set scratch: predicates set bits here
 	// and the emitted tuple gets a right-sized Clone, so wide query sets
 	// (>64 slots) cost one allocation per emitted tuple instead of one per
 	// spill growth, and narrow sets cost none.
+	//lint:ephemeral per-tuple scratch, rebuilt from zero on the next tuple
 	qsTmp bitset.Bits
 	// onPredPanic, when set, receives predicate-evaluation panics so the
 	// engine can count strikes and quarantine the offending query instead of
 	// letting one bad ad-hoc predicate take down the shared pipeline.
+	//lint:ephemeral supervision hook wired by the engine, not stream state
 	onPredPanic func(queryID int, v any)
 	// faultHook, when set, runs before each predicate evaluation (seeded
 	// fault injection).
+	//lint:ephemeral test-only fault injection hook
 	faultHook predicateHook
 }
 

@@ -141,6 +141,20 @@ func (r *snapR) bytes(what string) []byte {
 	return out
 }
 
+// finish reports the first decode error, or rejects trailing input. Unread
+// bytes after a complete decode mean the snapshot was written by an encoder
+// this build does not understand (a newer schema appended fields); ignoring
+// them would silently drop state, so restores must fail loudly instead.
+func (r *snapR) finish(what string) error {
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.b) != 0 {
+		return fmt.Errorf("core: %s snapshot has %d trailing bytes (version skew?)", what, len(r.b))
+	}
+	return nil
+}
+
 // --- shared value codecs ---
 
 func snapTuple(b []byte, t *event.Tuple) []byte {
@@ -506,8 +520,8 @@ func (s *SharedSelection) Restore(snapshot []byte) error {
 		}
 		versions = append(versions, v)
 	}
-	if r.err != nil {
-		return r.err
+	if err := r.finish("selection"); err != nil {
+		return err
 	}
 	if len(versions) == 0 {
 		versions = []selVersion{{from: event.MinTime}}
@@ -580,8 +594,8 @@ func (j *SharedJoin) Restore(snapshot []byte) error {
 			j.insertOrdered(aq)
 		}
 	}
-	if r.err != nil {
-		return r.err
+	if err := r.finish("join"); err != nil {
+		return err
 	}
 	j.pairCache = make(map[uint64][]event.JoinedTuple)
 	j.pairsBySlice = make(map[uint64][]uint64)
@@ -738,8 +752,8 @@ func (a *SharedAggregation) Restore(snapshot []byte) error {
 			a.selOrdered = insertBySlot(a.selOrdered, sq)
 		}
 	}
-	if r.err != nil {
-		return r.err
+	if err := r.finish("aggregation"); err != nil {
+		return err
 	}
 	if len(a.maskVersions) == 0 {
 		a.maskVersions = []maskVersion{{from: event.MinTime, portMasks: make([]bitset.Bits, a.ports)}}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"astream/internal/bitset"
@@ -355,5 +356,51 @@ func TestOperatorRestoreRejectsCorruptSnapshots(t *testing.T) {
 	join := NewSharedJoin(0, StoreList, 10, NewRouter(&OpMetrics{}), &OpMetrics{})
 	if err := join.Restore([]byte{1, 0}); err == nil {
 		t.Fatal("join accepted a truncated snapshot")
+	}
+}
+
+// TestVersionSkewFailsLoudly pins the trailing-bytes contract: a snapshot
+// written by a newer encoder that appended a field must be rejected by
+// this build's Restore, never half-parsed into silently wrong state. The
+// appended suffix stands in for the unknown field; the unmodified
+// snapshot must still restore, proving the guard only fires on skew.
+func TestVersionSkewFailsLoudly(t *testing.T) {
+	skew := func(snap []byte) []byte {
+		return append(append([]byte(nil), snap...), 0xEE, 0xFF)
+	}
+
+	sel := NewSharedSelection(0, 10, &OpMetrics{})
+	sel.OnChangelog(newCLBuilder().create(t, 0, selQ(gt(0, 50))), 0, nil)
+	selSnap := sel.OnBarrier(1, nil)
+	if err := NewSharedSelection(0, 10, &OpMetrics{}).Restore(selSnap); err != nil {
+		t.Fatalf("selection: clean snapshot rejected: %v", err)
+	}
+	if err := NewSharedSelection(0, 10, &OpMetrics{}).Restore(skew(selSnap)); err == nil ||
+		!strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("selection: skewed snapshot not rejected loudly: %v", err)
+	}
+
+	join := NewSharedJoin(0, StoreList, 10, NewRouter(&OpMetrics{}), &OpMetrics{})
+	join.OnChangelog(newCLBuilder().create(t, 0, joinQ(window.TumblingSpec(10), gt(0, -1), gt(0, -1))), 0, nil)
+	join.OnTuple(0, event.Tuple{Key: 1, Time: 3, QuerySet: bitset.FromIndexes(0)}, tapEmitter(&[]string{}))
+	joinSnap := join.OnBarrier(1, nil)
+	fresh := func() *SharedJoin { return NewSharedJoin(0, StoreList, 10, NewRouter(&OpMetrics{}), &OpMetrics{}) }
+	if err := fresh().Restore(joinSnap); err != nil {
+		t.Fatalf("join: clean snapshot rejected: %v", err)
+	}
+	if err := fresh().Restore(skew(joinSnap)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("join: skewed snapshot not rejected loudly: %v", err)
+	}
+
+	agg := NewSharedAggregation(1, 10, NewRouter(&OpMetrics{}), &OpMetrics{})
+	agg.OnChangelog(newCLBuilder().create(t, 0, aggQ(window.TumblingSpec(10), sqlstream.AggSum, 0, gt(0, -1))), 0, nil)
+	agg.OnTuple(0, event.Tuple{Key: 1, Time: 5, QuerySet: bitset.FromIndexes(0)}, nil)
+	aggSnap := agg.OnBarrier(1, nil)
+	freshAgg := func() *SharedAggregation { return NewSharedAggregation(1, 10, NewRouter(&OpMetrics{}), &OpMetrics{}) }
+	if err := freshAgg().Restore(aggSnap); err != nil {
+		t.Fatalf("aggregation: clean snapshot rejected: %v", err)
+	}
+	if err := freshAgg().Restore(skew(aggSnap)); err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Fatalf("aggregation: skewed snapshot not rejected loudly: %v", err)
 	}
 }

@@ -11,6 +11,9 @@ package lint
 // result routing, and the runtime/cluster exchanges. The supervised-go
 // scope names the runtime packages whose goroutines must enter through the
 // panic-capturing supervisor, so no operator panic can kill the process.
+// The state scope names the packages whose Snapshot/Restore pairs the
+// state-integrity analyzers (snapcover, errsink, snapshot-symmetry) audit
+// before any of that state goes durable.
 func ModuleAnalyzers(modPath string) []*Analyzer {
 	wallclockAllow := []string{
 		modPath + "/internal/metrics",
@@ -27,10 +30,18 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		modPath + "/internal/core",
 		modPath + "/internal/spe",
 		modPath + "/internal/cluster",
+		// The linter's own output must be deterministic too (the CI
+		// self-check runs astream-vet over internal/lint).
+		modPath + "/internal/lint",
 	}
 	supervisedScope := []string{
 		modPath + "/internal/spe",
 		modPath + "/internal/core",
+	}
+	stateScope := []string{
+		modPath + "/internal/core",
+		modPath + "/internal/checkpoint",
+		modPath + "/internal/changelog",
 	}
 	return []*Analyzer{
 		NewWallclock(wallclockAllow),
@@ -40,5 +51,8 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		NewLeakyGo(),
 		NewNakedAtomic(),
 		NewSupervisedGo(supervisedScope),
+		NewSnapCover(stateScope),
+		NewErrSink(stateScope),
+		NewSnapSymmetry(stateScope),
 	}
 }

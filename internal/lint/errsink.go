@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NewErrSink builds the error-sink analyzer for the state packages: on
+// checkpoint, recovery, and changelog paths a swallowed error reintroduces
+// exactly the silent data loss PR 5 converted panics into errors to
+// surface. Three sinks are flagged, flow-sensitively and per function:
+//
+//   - an error result discarded with _ (either `_ = f()` or the error
+//     position of a multi-assign);
+//   - a call, deferred call, or go statement whose results include an
+//     error that nothing receives;
+//   - a local error variable reassigned before its current value was
+//     read, or still unread when the function ends.
+//
+// "Read" is any use of the variable — a comparison, a return, a wrapping
+// call, capture by a closure. Branches are walked against a copy of the
+// pending-error set and a read on any branch counts (the analysis is
+// deliberately permissive: it only reports errors no syntactic path
+// checks). Loop bodies are walked once; a variable the loop reassigns is
+// dropped from tracking, since a later iteration may read the value the
+// straight-line walk thinks is dead. Struct fields and package variables
+// are out of scope — only locals and named results are tracked.
+func NewErrSink(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "errsink",
+		Doc:  "flags discarded, unchecked, and overwritten-before-check error values on state paths",
+	}
+	a.Run = func(p *Package) []Diagnostic {
+		if len(scope) > 0 && !pathMatches(p.Path, scope) {
+			return nil
+		}
+		var diags []Diagnostic
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						diags = append(diags, errSinkFunc(a, p, fn.Type, fn.Body)...)
+					}
+				case *ast.FuncLit:
+					diags = append(diags, errSinkFunc(a, p, fn.Type, fn.Body)...)
+				}
+				return true
+			})
+		}
+		return diags
+	}
+	return a
+}
+
+// errFlow is the per-function walk state.
+type errFlow struct {
+	a *Analyzer
+	p *Package
+	// tracked holds the locals and named results of exact type error that
+	// the overwrite/unread checks apply to.
+	tracked map[*types.Var]bool
+	// pending maps a tracked variable to its last unread assignment.
+	pending map[*types.Var]token.Pos
+	diags   []Diagnostic
+}
+
+// errSinkFunc analyzes one function body. Nested function literals are
+// analyzed independently by the caller; here their interiors only count as
+// reads of the enclosing function's variables.
+func errSinkFunc(a *Analyzer, p *Package, ftype *ast.FuncType, body *ast.BlockStmt) []Diagnostic {
+	w := &errFlow{a: a, p: p, tracked: map[*types.Var]bool{}, pending: map[*types.Var]token.Pos{}}
+	if ftype.Results != nil {
+		for _, fld := range ftype.Results.List {
+			for _, name := range fld.Names {
+				if v, ok := p.Info.Defs[name].(*types.Var); ok && v != nil && errorType(v.Type()) {
+					w.tracked[v] = true
+				}
+			}
+		}
+	}
+	w.block(body)
+	var unread []*types.Var
+	for v := range w.pending {
+		unread = append(unread, v)
+	}
+	sort.Slice(unread, func(i, j int) bool { return w.pending[unread[i]] < w.pending[unread[j]] })
+	for _, v := range unread {
+		w.diags = append(w.diags, a.Diag(p, w.pending[v], "error assigned to %s is never checked", v.Name()))
+	}
+	return w.diags
+}
+
+func (w *errFlow) block(b *ast.BlockStmt) {
+	for _, s := range b.List {
+		w.stmt(s)
+	}
+}
+
+func (w *errFlow) stmt(s ast.Stmt) {
+	switch x := s.(type) {
+	case *ast.AssignStmt:
+		w.assign(x)
+	case *ast.DeclStmt:
+		w.decl(x)
+	case *ast.ExprStmt:
+		w.reads(x.X)
+		if call, ok := unparen(x.X).(*ast.CallExpr); ok {
+			w.uncheckedCall(call, "call to")
+		}
+	case *ast.DeferStmt:
+		w.reads(x.Call)
+		w.uncheckedCall(x.Call, "deferred call to")
+	case *ast.GoStmt:
+		w.reads(x.Call)
+		w.uncheckedCall(x.Call, "go call to")
+	case *ast.ReturnStmt:
+		for _, e := range x.Results {
+			w.reads(e)
+		}
+		if len(x.Results) == 0 {
+			// A bare return hands the named results to the caller.
+			for v := range w.tracked {
+				delete(w.pending, v)
+			}
+		}
+	case *ast.IfStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.reads(x.Cond)
+		branches := []map[*types.Var]token.Pos{
+			w.branch(func() { w.block(x.Body) }),
+		}
+		if x.Else != nil {
+			branches = append(branches, w.branch(func() { w.stmt(x.Else) }))
+		}
+		w.mergeReads(branches)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.reads(x.Cond)
+		before := copyPending(w.pending)
+		cl := w.branch(func() {
+			w.block(x.Body)
+			if x.Post != nil {
+				w.stmt(x.Post)
+			}
+		})
+		w.loopMerge(before, cl, x)
+	case *ast.RangeStmt:
+		w.reads(x.X)
+		before := copyPending(w.pending)
+		cl := w.branch(func() { w.block(x.Body) })
+		w.loopMerge(before, cl, x)
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.reads(x.Tag)
+		var branches []map[*types.Var]token.Pos
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			for _, e := range cc.List {
+				w.reads(e)
+			}
+			branches = append(branches, w.branch(func() { w.stmtList(cc.Body) }))
+		}
+		w.mergeReads(branches)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.stmt(x.Init)
+		}
+		w.readsNode(x.Assign)
+		var branches []map[*types.Var]token.Pos
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CaseClause)
+			branches = append(branches, w.branch(func() { w.stmtList(cc.Body) }))
+		}
+		w.mergeReads(branches)
+	case *ast.SelectStmt:
+		var branches []map[*types.Var]token.Pos
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			branches = append(branches, w.branch(func() {
+				if cc.Comm != nil {
+					w.stmt(cc.Comm)
+				}
+				w.stmtList(cc.Body)
+			}))
+		}
+		w.mergeReads(branches)
+	case *ast.BlockStmt:
+		w.block(x)
+	case *ast.LabeledStmt:
+		w.stmt(x.Stmt)
+	default:
+		// SendStmt, IncDecStmt, BranchStmt, EmptyStmt: plain reads.
+		w.readsNode(s)
+	}
+}
+
+func (w *errFlow) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		w.stmt(s)
+	}
+}
+
+// assign handles = and := statements: blank discards, overwrites of
+// pending errors, and new pending assignments.
+func (w *errFlow) assign(as *ast.AssignStmt) {
+	for _, r := range as.Rhs {
+		w.reads(r)
+	}
+	if as.Tok != token.ASSIGN && as.Tok != token.DEFINE {
+		return // compound assignment ops never produce errors
+	}
+	callDesc := ""
+	if len(as.Rhs) == 1 {
+		if call, ok := unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			callDesc = types.ExprString(call.Fun)
+		}
+	}
+	for i, l := range as.Lhs {
+		id, ok := l.(*ast.Ident)
+		if !ok {
+			// m[k] = ... reads m and k; a write through a selector or
+			// index is never a tracked local.
+			w.reads(l)
+			continue
+		}
+		if id.Name == "_" {
+			if t := w.assignType(as, i); t != nil && errorType(t) {
+				if callDesc != "" {
+					w.diags = append(w.diags, w.a.Diag(w.p, id.Pos(),
+						"error result of %s is discarded", callDesc))
+				} else {
+					w.diags = append(w.diags, w.a.Diag(w.p, id.Pos(),
+						"error value is discarded"))
+				}
+			}
+			continue
+		}
+		var v *types.Var
+		if as.Tok == token.DEFINE {
+			v, _ = w.p.Info.Defs[id].(*types.Var)
+			if v == nil {
+				// Redeclaration inside a multi-variable := resolves as a use.
+				v, _ = w.p.Info.Uses[id].(*types.Var)
+			}
+		} else {
+			v, _ = w.p.Info.Uses[id].(*types.Var)
+		}
+		if v == nil || !errorType(v.Type()) {
+			continue
+		}
+		if as.Tok == token.DEFINE {
+			w.tracked[v] = true
+		}
+		if !w.tracked[v] {
+			continue // parameter, package variable, or field: out of scope
+		}
+		if prev, ok := w.pending[v]; ok {
+			w.diags = append(w.diags, w.a.Diag(w.p, id.Pos(),
+				"%s is reassigned before the error assigned at line %d is checked",
+				v.Name(), w.p.Fset.Position(prev).Line))
+		}
+		if t := w.assignType(as, i); t != nil && isUntypedNil(t) {
+			delete(w.pending, v) // explicit reset, nothing left to check
+		} else {
+			w.pending[v] = id.Pos()
+		}
+	}
+}
+
+// assignType resolves the type flowing into LHS position i.
+func (w *errFlow) assignType(as *ast.AssignStmt, i int) types.Type {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		if tup, ok := w.p.Info.Types[as.Rhs[0]].Type.(*types.Tuple); ok && i < tup.Len() {
+			return tup.At(i).Type()
+		}
+		return nil
+	}
+	if i < len(as.Rhs) {
+		return w.p.Info.Types[as.Rhs[i]].Type
+	}
+	return nil
+}
+
+// decl handles `var` statements, which can both declare tracked variables
+// and leave an initial error pending.
+func (w *errFlow) decl(ds *ast.DeclStmt) {
+	gd, ok := ds.Decl.(*ast.GenDecl)
+	if !ok || gd.Tok != token.VAR {
+		w.readsNode(ds)
+		return
+	}
+	for _, spec := range gd.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, val := range vs.Values {
+			w.reads(val)
+		}
+		for _, name := range vs.Names {
+			v, _ := w.p.Info.Defs[name].(*types.Var)
+			if v == nil || !errorType(v.Type()) {
+				continue
+			}
+			w.tracked[v] = true
+			if len(vs.Values) > 0 {
+				w.pending[v] = name.Pos()
+			}
+		}
+	}
+}
+
+// uncheckedCall reports a statement-position call whose results include an
+// error nothing receives.
+func (w *errFlow) uncheckedCall(call *ast.CallExpr, what string) {
+	if !typeHasError(w.p.Info.Types[call].Type) {
+		return
+	}
+	w.diags = append(w.diags, w.a.Diag(w.p, call.Pos(),
+		"%s %s drops its error result", what, types.ExprString(call.Fun)))
+}
+
+// reads marks every variable used anywhere inside e as read, function-
+// literal interiors included: a captured error escapes the straight-line
+// view, so the closure must count as a potential check.
+func (w *errFlow) reads(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	w.readsNode(e)
+}
+
+func (w *errFlow) readsNode(n ast.Node) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok {
+			if v, ok := w.p.Info.Uses[id].(*types.Var); ok {
+				delete(w.pending, v)
+			}
+		}
+		return true
+	})
+}
+
+// branch runs fn against a copy of the pending set and returns the copy;
+// diagnostics found inside the branch are kept.
+func (w *errFlow) branch(fn func()) map[*types.Var]token.Pos {
+	saved := w.pending
+	w.pending = copyPending(saved)
+	fn()
+	cl := w.pending
+	w.pending = saved
+	return cl
+}
+
+// mergeReads clears every pending variable that at least one branch read:
+// the analysis reports only errors no syntactic path checks.
+func (w *errFlow) mergeReads(branches []map[*types.Var]token.Pos) {
+	for v := range w.pending {
+		for _, b := range branches {
+			if _, ok := b[v]; !ok {
+				delete(w.pending, v)
+				break
+			}
+		}
+	}
+}
+
+// loopMerge folds one symbolic iteration of a loop body back into the live
+// set. Reads clear as usual. A variable the body reassigns leaves the walk:
+// a later iteration may read the value the straight-line view considers
+// dead — unless the variable is declared inside the body, where each
+// iteration gets a fresh one and an unread value truly is unread.
+func (w *errFlow) loopMerge(before, cl map[*types.Var]token.Pos, loop ast.Node) {
+	for v := range before {
+		if _, ok := cl[v]; !ok {
+			delete(w.pending, v)
+		}
+	}
+	for v, pos := range cl {
+		if bp, ok := before[v]; ok && bp == pos {
+			continue // untouched by the body
+		}
+		delete(w.pending, v)
+		if v.Pos() >= loop.Pos() && v.Pos() <= loop.End() {
+			w.pending[v] = pos
+		}
+	}
+}
+
+func copyPending(m map[*types.Var]token.Pos) map[*types.Var]token.Pos {
+	out := make(map[*types.Var]token.Pos, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// typeHasError reports whether t is, or is a tuple containing, the
+// built-in error type.
+func typeHasError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if errorType(tup.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return errorType(t)
+}
+
+// isUntypedNil reports whether t is the type of a literal nil.
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

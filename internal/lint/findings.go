@@ -26,34 +26,52 @@ type Finding struct {
 	Chain []string `json:"chain,omitempty"`
 }
 
+// SuppressedFinding is a finding silenced by a //lint:ignore directive,
+// carrying the directive's stated reason so suppressions stay auditable
+// from the JSON output alone.
+type SuppressedFinding struct {
+	Finding
+	// Reason is the justification text of the covering directive.
+	Reason string `json:"reason"`
+}
+
 // Report is the top-level -format json document.
 type Report struct {
 	// Version identifies the schema; bumped on incompatible change.
 	Version int `json:"version"`
 	// Findings are sorted by (file, line, col, analyzer).
 	Findings []Finding `json:"findings"`
+	// Suppressed lists //lint:ignore-silenced findings with their reasons,
+	// same order. Omitted from baselines: suppressions are not regressions.
+	Suppressed []SuppressedFinding `json:"suppressed,omitempty"`
 }
 
 // ReportVersion is the current Report schema version.
 const ReportVersion = 1
+
+// newFinding converts one diagnostic, relativizing the path against root
+// (left absolute when that fails).
+func newFinding(root string, d Diagnostic) Finding {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
+		file = rel
+	}
+	return Finding{
+		Analyzer: d.Analyzer,
+		File:     filepath.ToSlash(file),
+		Line:     d.Pos.Line,
+		Col:      d.Pos.Column,
+		Message:  d.Message,
+		Chain:    d.Chain,
+	}
+}
 
 // NewReport converts diagnostics into a Report with paths relativized
 // against root (left absolute when that fails).
 func NewReport(root string, diags []Diagnostic) Report {
 	fs := make([]Finding, 0, len(diags))
 	for _, d := range diags {
-		file := d.Pos.Filename
-		if rel, err := filepath.Rel(root, file); err == nil && !filepath.IsAbs(rel) {
-			file = rel
-		}
-		fs = append(fs, Finding{
-			Analyzer: d.Analyzer,
-			File:     filepath.ToSlash(file),
-			Line:     d.Pos.Line,
-			Col:      d.Pos.Column,
-			Message:  d.Message,
-			Chain:    d.Chain,
-		})
+		fs = append(fs, newFinding(root, d))
 	}
 	sort.Slice(fs, func(i, j int) bool {
 		a, b := fs[i], fs[j]
@@ -69,6 +87,16 @@ func NewReport(root string, diags []Diagnostic) Report {
 		return a.Analyzer < b.Analyzer
 	})
 	return Report{Version: ReportVersion, Findings: fs}
+}
+
+// SuppressedFindings converts suppressed diagnostics for inclusion in a
+// Report, preserving their order.
+func SuppressedFindings(root string, sup []SuppressedDiagnostic) []SuppressedFinding {
+	out := make([]SuppressedFinding, 0, len(sup))
+	for _, s := range sup {
+		out = append(out, SuppressedFinding{Finding: newFinding(root, s.Diagnostic), Reason: s.Reason})
+	}
+	return out
 }
 
 // WriteJSON renders the report as indented JSON with a trailing newline

@@ -175,8 +175,9 @@ func onlyWhitespaceBefore(p *Package, pos token.Pos) bool {
 	return strings.TrimSpace(string(src[lineStart:position.Offset])) == ""
 }
 
-// suppressed reports whether d is covered by any directive.
-func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
+// suppressReason returns the reason of the first directive covering d,
+// and whether any directive does.
+func suppressReason(d Diagnostic, dirs []ignoreDirective) (string, bool) {
 	for _, dir := range dirs {
 		if dir.file != d.Pos.Filename {
 			continue
@@ -186,19 +187,44 @@ func suppressed(d Diagnostic, dirs []ignoreDirective) bool {
 		}
 		for _, name := range dir.analyzers {
 			if name == "all" || name == d.Analyzer {
-				return true
+				return dir.reason, true
 			}
 		}
 	}
-	return false
+	return "", false
+}
+
+// SuppressedDiagnostic is a diagnostic silenced by a //lint:ignore
+// directive, together with the directive's stated reason. Suppressions are
+// reported alongside live findings in -format json so the justifications
+// stay auditable without grepping the source.
+type SuppressedDiagnostic struct {
+	Diagnostic
+	Reason string
 }
 
 // Run executes every analyzer over every package, applies //lint:ignore
 // suppression, and returns the surviving diagnostics in file/line order.
 // Module analyzers (RunModule) execute once over the whole load.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunAll(pkgs, analyzers)
+	return diags
+}
+
+// RunAll is Run plus the suppressed diagnostics: every finding silenced by
+// a //lint:ignore directive is returned separately with the directive's
+// reason, in the same file/line order.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []SuppressedDiagnostic) {
 	var out []Diagnostic
+	var sup []SuppressedDiagnostic
 	var allDirs []ignoreDirective
+	keep := func(d Diagnostic, dirs []ignoreDirective) {
+		if reason, ok := suppressReason(d, dirs); ok {
+			sup = append(sup, SuppressedDiagnostic{Diagnostic: d, Reason: reason})
+		} else {
+			out = append(out, d)
+		}
+	}
 	for _, p := range pkgs {
 		dirs, bad := collectIgnores(p)
 		out = append(out, bad...)
@@ -208,9 +234,7 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				continue
 			}
 			for _, d := range a.Run(p) {
-				if !suppressed(d, dirs) {
-					out = append(out, d)
-				}
+				keep(d, dirs)
 			}
 		}
 	}
@@ -220,24 +244,24 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 			continue
 		}
 		for _, d := range a.RunModule(mod) {
-			if !suppressed(d, allDirs) {
-				out = append(out, d)
-			}
+			keep(d, allDirs)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos.Filename != out[j].Pos.Filename {
-			return out[i].Pos.Filename < out[j].Pos.Filename
+	byPos := func(a, b Diagnostic) bool {
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
 		}
-		if out[i].Pos.Line != out[j].Pos.Line {
-			return out[i].Pos.Line < out[j].Pos.Line
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
 		}
-		if out[i].Pos.Column != out[j].Pos.Column {
-			return out[i].Pos.Column < out[j].Pos.Column
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
 		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
-	return out
+		return a.Analyzer < b.Analyzer
+	}
+	sort.Slice(out, func(i, j int) bool { return byPos(out[i], out[j]) })
+	sort.Slice(sup, func(i, j int) bool { return byPos(sup[i].Diagnostic, sup[j].Diagnostic) })
+	return out, sup
 }
 
 // pathMatches reports whether an import path matches any pattern. A

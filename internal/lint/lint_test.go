@@ -139,6 +139,65 @@ func TestSupervisedGoScope(t *testing.T) {
 	}
 }
 
+func TestSnapCoverFixture(t *testing.T) {
+	checkFixture(t, "snapcover", []*Analyzer{NewSnapCover(nil)})
+}
+
+func TestErrSinkFixture(t *testing.T) {
+	checkFixture(t, "errsink", []*Analyzer{NewErrSink(nil)})
+}
+
+func TestSnapSymmetryFixture(t *testing.T) {
+	checkFixture(t, "snapsym", []*Analyzer{NewSnapSymmetry(nil)})
+}
+
+// TestStateScope verifies the state-integrity analyzers honor their
+// package scope: pointed at other packages, each fixture is silent.
+func TestStateScope(t *testing.T) {
+	otherScope := []string{"mod/internal/other"}
+	for fixture, mk := range map[string]func([]string) *Analyzer{
+		"snapcover": NewSnapCover,
+		"errsink":   NewErrSink,
+		"snapsym":   NewSnapSymmetry,
+	} {
+		p := loadFixture(t, fixture)
+		diags := Run([]*Package{p}, []*Analyzer{mk(otherScope)})
+		if len(diags) != 0 {
+			t.Errorf("%s: out-of-scope package produced %d diagnostics: %v", fixture, len(diags), diags)
+		}
+	}
+}
+
+// TestSuppressedReasons proves //lint:ignore justifications survive into
+// the JSON schema: RunAll returns each silenced finding with its
+// directive's reason, Run stays the unsuppressed projection, and
+// SuppressedFindings carries the reason into the Report.
+func TestSuppressedReasons(t *testing.T) {
+	p := loadFixture(t, "ignore")
+	analyzers := []*Analyzer{NewWallclock(nil)}
+	diags, sup := RunAll([]*Package{p}, analyzers)
+	if len(sup) == 0 {
+		t.Fatal("ignore fixture produced no suppressed findings")
+	}
+	for _, s := range sup {
+		if s.Reason == "" {
+			t.Errorf("suppressed finding without a reason: %s", s.Diagnostic)
+		}
+	}
+	if plain := Run([]*Package{p}, analyzers); len(plain) != len(diags) {
+		t.Errorf("Run returned %d diagnostics, RunAll %d", len(plain), len(diags))
+	}
+	fs := SuppressedFindings("", sup)
+	r := Report{Version: ReportVersion, Findings: []Finding{}, Suppressed: fs}
+	b, err := r.WriteJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"reason": "`+sup[0].Reason+`"`) {
+		t.Errorf("JSON report does not carry the suppression reason:\n%s", b)
+	}
+}
+
 // TestIgnoreFixture proves the //lint:ignore machinery end to end: the
 // same-line, own-line, and "all" directives suppress their findings (no
 // want comment, so any survivor fails as unexpected), a directive naming a

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/token"
+	"go/types"
+)
+
+// NewSnapCover builds the snapshot field-coverage analyzer: for every
+// Snapshot/Restore pair (see statepair.go) declared in a scoped package,
+// each field of the state struct must be accounted for on both sides of
+// the serialization boundary —
+//
+//   - serialized: referenced by the encode root or any function statically
+//     reachable from it (field-level dataflow over the call-graph, so a
+//     helper like snapSlicer(b, j.sides[k], ...) covers the field it is
+//     handed);
+//   - repopulated: referenced by the decode root or any function reachable
+//     from it (assignments, composite-literal keys, and reads all count —
+//     a Restore that validates a configured field against the snapshot is
+//     as deliberate as one that overwrites it);
+//   - or annotated //lint:ephemeral <reason> (scratch state recovery may
+//     rebuild from nothing) / //lint:ephemeral derived <reason> (state
+//     computed from serialized fields — the snapshot side is waived, but
+//     the field must still be repopulated by a function reachable from the
+//     decode root, and that is verified).
+//
+// Contradictory annotations are findings too: an ephemeral field that the
+// encode path does serialize means either the annotation or the encoder is
+// lying, and once snapshots go durable that disagreement is permanent
+// corruption. Fields of empty struct types (spe.BaseLogic embeds) carry no
+// state and are skipped.
+func NewSnapCover(scope []string) *Analyzer {
+	a := &Analyzer{
+		Name: "snapcover",
+		Doc:  "proves every state-struct field is serialized by Snapshot, repopulated by Restore, or annotated //lint:ephemeral",
+	}
+	a.RunModule = func(m *Module) []Diagnostic {
+		var diags []Diagnostic
+		ephByPkg := map[*Package][]*ephemeralDirective{}
+		for _, p := range m.Pkgs {
+			if len(scope) > 0 && !pathMatches(p.Path, scope) {
+				continue
+			}
+			dirs, bad := collectEphemerals(a, p)
+			ephByPkg[p] = dirs
+			diags = append(diags, bad...)
+		}
+		for _, pair := range findStatePairs(m, scope) {
+			strct := pair.typ.Underlying().(*types.Struct)
+			encTouch := fieldTouches(reachableFrom(pair.enc))
+			decTouch := fieldTouches(reachableFrom(pair.dec))
+			dirs := ephByPkg[pair.pkg]
+			for i := 0; i < strct.NumFields(); i++ {
+				f := strct.Field(i)
+				if emptyStruct(f.Type()) {
+					continue
+				}
+				pos := pair.pkg.Fset.Position(f.Pos())
+				dir := ephemeralFor(dirs, pos)
+				serialized, repopulated := encTouch[f], decTouch[f]
+				switch {
+				case dir == nil:
+					if !serialized {
+						diags = append(diags, a.Diag(pair.pkg, f.Pos(),
+							"field %s.%s is not serialized by %s and not annotated //lint:ephemeral",
+							pair.name, f.Name(), pair.enc.Fn.Name()))
+					}
+					if !repopulated {
+						diags = append(diags, a.Diag(pair.pkg, f.Pos(),
+							"field %s.%s is not repopulated by %s and not annotated //lint:ephemeral",
+							pair.name, f.Name(), pair.dec.Fn.Name()))
+					}
+				case serialized:
+					dir.used = true
+					diags = append(diags, a.Diag(pair.pkg, f.Pos(),
+						"field %s.%s is annotated //lint:ephemeral but %s serializes it; drop the annotation or the encoding",
+						pair.name, f.Name(), pair.enc.Fn.Name()))
+				case dir.derived && !repopulated:
+					dir.used = true
+					diags = append(diags, a.Diag(pair.pkg, f.Pos(),
+						"field %s.%s is annotated //lint:ephemeral derived but no function reachable from %s repopulates it",
+						pair.name, f.Name(), pair.dec.Fn.Name()))
+				default:
+					dir.used = true
+				}
+			}
+		}
+		// A directive attached to nothing is a typo or a field that moved;
+		// report it so annotations cannot rot. Packages are visited in the
+		// module's deterministic order.
+		for _, p := range m.Pkgs {
+			for _, dir := range ephByPkg[p] {
+				if !dir.used {
+					diags = append(diags, Diagnostic{
+						Analyzer: a.Name,
+						Pos:      positionAt(dir),
+						Message:  "//lint:ephemeral directive does not annotate a field of any Snapshot/Restore state type",
+					})
+				}
+			}
+		}
+		return diags
+	}
+	return a
+}
+
+// emptyStruct reports whether t is a struct type with no fields (a pure
+// marker/mixin like spe.BaseLogic).
+func emptyStruct(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Struct)
+	return ok && s.NumFields() == 0
+}
+
+// positionAt rebuilds the token.Position of a directive for reporting.
+func positionAt(dir *ephemeralDirective) (pos token.Position) {
+	pos.Filename = dir.file
+	pos.Line = dir.line
+	pos.Column = 1
+	return pos
+}

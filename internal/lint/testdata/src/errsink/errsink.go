@@ -1,0 +1,105 @@
+// Package errsink is a lint fixture: on state paths an error value must
+// not be discarded, dropped at statement position, overwritten before it
+// is checked, or left unread when the function ends.
+package errsink
+
+import "errors"
+
+var errBoom = errors.New("boom")
+
+func open() error { return errBoom }
+
+func parse() (int, error) { return 0, errBoom }
+
+func discardCall() {
+	_ = open() // want "error result of open is discarded"
+}
+
+func discardTuple() int {
+	n, _ := parse() // want "error result of parse is discarded"
+	return n
+}
+
+func discardValue() {
+	e := open()
+	_ = e // want "error value is discarded"
+}
+
+func dropStatement() {
+	open() // want "call to open drops its error result"
+}
+
+func dropDeferred() {
+	defer open() // want "deferred call to open drops its error result"
+}
+
+func dropGo() {
+	go open() // want "go call to open drops its error result"
+}
+
+func overwrite() error {
+	err := open()
+	err = open() // want "err is reassigned before the error assigned at line \d+ is checked"
+	return err
+}
+
+func neverChecked() (n int, err error) {
+	err = open() // want "error assigned to err is never checked"
+	return 7, nil
+}
+
+func inLiteral() {
+	f := func() {
+		_ = open() // want "error result of open is discarded"
+	}
+	f()
+}
+
+// --- clean shapes the analyzer must stay silent on ---
+
+// checked is the straight-line idiom.
+func checked() error {
+	err := open()
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// branchChecked: a read on any syntactic path counts.
+func branchChecked(flag bool) error {
+	err := open()
+	if flag {
+		return err
+	}
+	return nil
+}
+
+// nilReset: assigning nil is an explicit reset, not a pending error.
+func nilReset() (err error) {
+	err = open()
+	if err != nil {
+		return err
+	}
+	err = nil
+	return
+}
+
+// loopCarried: a variable the loop body may read next iteration is not
+// reported from the straight-line walk.
+func loopCarried(xs []int) error {
+	var firstErr error
+	for range xs {
+		if e := open(); e != nil && firstErr == nil {
+			firstErr = e
+		}
+	}
+	return firstErr
+}
+
+// closureChecked: capture by a closure escapes the straight-line view and
+// counts as a potential check.
+func closureChecked() func() error {
+	err := open()
+	return func() error { return err }
+}
