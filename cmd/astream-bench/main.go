@@ -34,11 +34,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|all")
+	exp := flag.String("exp", "all", "experiment: fig9|fig9sweep|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|all")
 	warmup := flag.Duration("warmup", 300*time.Millisecond, "steady-state warmup per run")
 	measure := flag.Duration("measure", 700*time.Millisecond, "measurement window per run")
 	nodesFlag := flag.String("nodes", "4,8", "comma-separated simulated node counts")
 	maxQ := flag.Int("maxq", 256, "maximum query parallelism for fig17")
+	queries := flag.String("queries", "1,10,50,100,200", "comma-separated query counts for the fig9sweep query-count axis")
 	jsonDir := flag.String("json", "", "write BENCH_kernels.json, BENCH_recovery.json, and BENCH_figs.json into this directory and exit")
 	flag.Parse()
 
@@ -65,6 +66,15 @@ func main() {
 		fmt.Println("Figure 9: slowest and overall data throughput, SC1 (AStream grid + single-query baseline)")
 		for _, m := range experiments.Fig9SC1Throughput(sc, nodes) {
 			fmt.Println(" ", m.Row())
+		}
+	})
+
+	run("fig9sweep", func() {
+		fmt.Printf("Figure 9 query-count sweep: SC1 throughput at %s concurrent queries (-queries)\n", *queries)
+		for _, n := range nodes {
+			for _, m := range experiments.Fig9QuerySweep(sc, n, parseInts(*queries)) {
+				fmt.Println(" ", m.Row())
+			}
 		}
 	})
 
@@ -152,7 +162,7 @@ func main() {
 
 	if *exp != "all" {
 		switch *exp {
-		case "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20":
+		case "fig9", "fig9sweep", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -381,7 +391,7 @@ func parseInts(s string) []int {
 		}
 		n, err := strconv.Atoi(f)
 		if err != nil || n < 1 {
-			fmt.Fprintf(os.Stderr, "bad node count %q\n", f)
+			fmt.Fprintf(os.Stderr, "bad count %q\n", f)
 			os.Exit(2)
 		}
 		out = append(out, n)

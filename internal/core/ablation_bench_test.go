@@ -1,12 +1,15 @@
 package core
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"astream/internal/bitset"
 	"astream/internal/changelog"
 	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/spe"
 )
 
 // BenchmarkAblationSliceStore contrasts the grouped, list, and adaptive
@@ -92,6 +95,66 @@ func BenchmarkAblationChangelogDP(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationSelectionIndex contrasts the compiled predicate index
+// (DESIGN.md §14) against the naive per-query scan it replaced, on the
+// shared selection's OnTuple path at the paper's high-query-count regime
+// (Fig. 9's query-count axis). Two workloads: "overlap" is the templated
+// 512q kernel population (few templates, many subscribers — the index's
+// best case), "random" mirrors the §4.2.2 generator (uniform field/op/
+// constant with the 0.2-selectivity floor — little dedup, mostly one-sided
+// ranges on the stabbing index). The scan arm is forced by installing a
+// no-op fault hook, exactly the mechanism fault injection uses to demand
+// per-entry evaluation.
+func BenchmarkAblationSelectionIndex(b *testing.B) {
+	genEntries := func(n int) []selEntry {
+		r := rand.New(rand.NewSource(int64(n)))
+		ops := []expr.Op{expr.LT, expr.GT, expr.EQ, expr.LE, expr.GE}
+		entries := make([]selEntry, n)
+		for s := range entries {
+			var p expr.Predicate
+			for {
+				c := expr.Comparison{
+					Field: r.Intn(event.NumFields),
+					Op:    ops[r.Intn(len(ops))],
+					Value: r.Int63n(1000),
+				}
+				p = expr.True().And(c)
+				if p.Selectivity(1000) >= 0.2 {
+					break
+				}
+			}
+			entries[s] = selEntry{slot: s, id: s + 1, pred: p}
+		}
+		return entries
+	}
+	workloads := []struct {
+		name string
+		mk   func(n int) []selEntry
+	}{
+		{"overlap", overlapEntries},
+		{"random", genEntries},
+	}
+	for _, wl := range workloads {
+		for _, n := range []int{64, 128, 256, 512} {
+			for _, mode := range []string{"index", "scan"} {
+				b.Run(fmt.Sprintf("%s/%dq/%s", wl.name, n, mode), func(b *testing.B) {
+					sel := NewSharedSelection(0, 0, NewOpMetrics(nil))
+					if mode == "scan" {
+						sel.faultHook = nopHook{}
+					}
+					sel.installTable(wl.mk(n))
+					em := &spe.Emitter{}
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
+					}
+				})
+			}
+		}
+	}
 }
 
 // BenchmarkAblationAppendOnlyQuerySets contrasts slot reuse (Figure 3c)

@@ -83,9 +83,30 @@ func KernelBenchmarks() []KernelBench {
 						pred: expr.True().And(expr.Comparison{Field: 0, Op: expr.LT, Value: 900}),
 					}
 				}
-				sel.versions = []selVersion{{from: event.MinTime, entries: entries}}
+				sel.installTable(entries)
 				em := &spe.Emitter{}
 				//lint:hotpath selection kernel steady state
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
+					}
+				}
+			},
+		},
+		{
+			// The paper's high-query-count regime: 512 ad-hoc queries drawn
+			// from a handful of templates, exercising every index layer —
+			// 64-way duplication folded to one node, point predicates on the
+			// hash dispatch, one-sided ranges on the stabbing index, and a
+			// multi-field containment chain pruned at its root. Matching
+			// tuples select only slots 0–63 so the emitted query-set stays on
+			// the inline (allocation-free) path.
+			Name: "selection-512q-overlap",
+			New: func() func(int) {
+				sel := NewSharedSelection(0, 0, NewOpMetrics(nil))
+				sel.installTable(overlapEntries(512))
+				em := &spe.Emitter{}
+				//lint:hotpath selection index kernel steady state
 				return func(iters int) {
 					for i := 0; i < iters; i++ {
 						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
@@ -125,7 +146,7 @@ func KernelBenchmarks() []KernelBench {
 						pred: expr.True().And(expr.Comparison{Field: 0, Op: expr.LT, Value: 900}),
 					}
 				}
-				sel.versions = []selVersion{{from: event.MinTime, entries: entries}}
+				sel.installTable(entries)
 				agg := benchAgg(64)
 				em := spe.NewChainedEmitter(agg, &spe.Emitter{})
 				//lint:hotpath fused chain kernel steady state
@@ -166,6 +187,36 @@ func KernelBenchmarks() []KernelBench {
 			},
 		},
 	}
+}
+
+// overlapEntries builds n template-generated predicates the way ad-hoc
+// workloads produce them — few templates, many subscribers. Slots 0..n/8-1
+// share one wide range template (matches ~90% of bench tuples; folds to a
+// single index node). The rest never match a bench tuple but must be
+// proven non-matching cheaply: a point-template group on the hash
+// dispatch, a one-sided-range group on the stabbing index, and a
+// multi-field chain P₀ ⊇ P₁ ⊇ … ⊇ P₇ whose containment lattice collapses
+// the whole group to one failing root evaluation.
+func overlapEntries(n int) []selEntry {
+	entries := make([]selEntry, n)
+	for s := range entries {
+		var p expr.Predicate
+		switch {
+		case s < n/8:
+			p = expr.True().And(expr.Comparison{Field: 0, Op: expr.LE, Value: 900})
+		case s < n/2:
+			p = expr.True().And(expr.Comparison{Field: 1, Op: expr.EQ, Value: int64(2000 + s%32)})
+		case s < 3*n/4:
+			p = expr.True().And(expr.Comparison{Field: 2, Op: expr.GE, Value: int64(2000 + (s%16)*10)})
+		default:
+			d := int64(s % 8)
+			p = expr.True().
+				And(expr.Comparison{Field: 3, Op: expr.GE, Value: 1500}).
+				And(expr.Comparison{Field: 4, Op: expr.GE, Value: 1500 + 10*d})
+		}
+		entries[s] = selEntry{slot: s, id: s + 1, pred: p}
+	}
+	return entries
 }
 
 // benchAgg builds a SharedAggregation with slots tumbling-window SUM queries

@@ -69,6 +69,21 @@ type SharedSelection struct {
 	//lint:ephemeral constructor wiring, identical on the recovered instance
 	stream   int // which engine stream this instance filters
 	versions []selVersion
+	// indexes[i] is the compiled predicate index for versions[i] (DESIGN.md
+	// §14); the two slices always have equal length. A nil element means
+	// that version classifies through the naive per-entry scan — the only
+	// mode when fault injection is active, where the per-entry hook call is
+	// the contract.
+	//lint:ephemeral derived compiled predicate index, recompiled from the versioned entry table by rebuildIndexes on Restore
+	indexes []*selIndex
+	// entryPool recycles entry-table backing arrays from watermark-pruned
+	// versions into future changelogs, bounding control-path churn.
+	//lint:ephemeral control-path scratch: recycled entry-slice capacity, content dead
+	entryPool [][]selEntry
+	// delScratch is the deletion lookup reused across changelogs with large
+	// Deleted sets; cleared after each use.
+	//lint:ephemeral control-path scratch, cleared after every changelog
+	delScratch map[int]struct{}
 	//lint:ephemeral constructor wiring (metrics sink)
 	metrics *OpMetrics
 	//lint:ephemeral constructor wiring (allowed-lateness config)
@@ -96,35 +111,43 @@ func NewSharedSelection(stream int, lateness event.Time, m *OpMetrics) *SharedSe
 	return &SharedSelection{
 		stream:   stream,
 		versions: []selVersion{{from: event.MinTime}},
+		// The empty initial table gets a (trivial) compiled index so the
+		// versions/indexes alignment invariant holds from birth; the fault
+		// hook, installed later, only affects tables built after it.
+		indexes: []*selIndex{buildSelIndex(nil)},
 		metrics:  m,
 		lateness: lateness,
 		wm:       event.MinTime,
 	}
 }
 
-func (s *SharedSelection) tableAt(t event.Time) *selVersion {
+// versionAt locates the table version in effect at event-time t.
+//
+//lint:hotpath
+func (s *SharedSelection) versionAt(t event.Time) int {
 	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
 	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].from > t }) - 1
 	if i < 0 {
 		i = 0
 	}
-	return &s.versions[i]
+	return i
 }
 
-// OnTuple evaluates every active predicate and emits the tuple with its
-// query-set; tuples interesting to no query are dropped at the earliest
-// possible point.
+// OnTuple computes the tuple's query-set — through the version's compiled
+// predicate index when present, else the naive per-entry scan — and emits
+// the tuple with the set appended; tuples interesting to no query are
+// dropped at the earliest possible point.
 //
 //lint:hotpath
 func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
 	tick := s.metrics.start()
-	v := s.tableAt(t.Time)
+	vi := s.versionAt(t.Time)
+	v := &s.versions[vi]
 	s.qsTmp.Reset()
-	for i := range v.entries {
-		e := &v.entries[i]
-		if s.evalEntry(e, &t) {
-			s.qsTmp.Set(e.slot)
-		}
+	if ix := s.indexes[vi]; ix != nil {
+		ix.classify(s, v, &t, &s.qsTmp)
+	} else {
+		s.scanEntries(v, &t, &s.qsTmp)
 	}
 	s.metrics.QuerySetGen.observe(tick, s.metrics)
 	if s.qsTmp.IsEmpty() {
@@ -135,6 +158,22 @@ func (s *SharedSelection) OnTuple(_ int, t event.Tuple, out *spe.Emitter) {
 	t.Stream = uint8(s.stream)
 	atomic.AddUint64(&s.metrics.Selected, 1)
 	out.EmitTuple(t)
+}
+
+// scanEntries is the naive per-entry classification: every active predicate
+// evaluated behind its own isolation boundary. Retained as the reference
+// implementation (the property tests assert the index agrees bit for bit)
+// and as the active path under fault injection, where the per-entry
+// BeforePredicate call is the contract.
+//
+//lint:hotpath
+func (s *SharedSelection) scanEntries(v *selVersion, t *event.Tuple, qs *bitset.Bits) {
+	for i := range v.entries {
+		e := &v.entries[i]
+		if s.evalEntry(e, t) {
+			qs.Set(e.slot)
+		}
+	}
 }
 
 // evalEntry evaluates one predicate, converting a panic (a buggy ad-hoc
@@ -157,19 +196,45 @@ func (s *SharedSelection) evalEntry(e *selEntry, t *event.Tuple) (matched bool) 
 	return e.pred.Eval(t)
 }
 
-// OnChangelog installs the new query table version.
+// smallDeleteScan bounds the deletion-set size handled by a linear probe of
+// the Deleted slice; larger sets build the reusable lookup map instead.
+const smallDeleteScan = 8
+
+// entryPoolCap bounds how many pruned entry-table backings are kept for
+// reuse.
+const entryPoolCap = 8
+
+// OnChangelog installs the new query table version and compiles its
+// predicate index (control path: the index build runs here, never per
+// tuple). The common ad-hoc case — creations only, no deletions — copies
+// the previous table without building any deletion set, into capacity
+// recycled from watermark-pruned versions.
 func (s *SharedSelection) OnChangelog(payload any, at event.Time, _ *spe.Emitter) {
 	msg := payload.(*ChangelogMsg)
-	cur := s.versions[len(s.versions)-1]
-	deleted := map[int]bool{}
-	for _, d := range msg.CL.Deleted {
-		deleted[d.Slot] = true
-	}
-	next := selVersion{from: at, entries: make([]selEntry, 0, len(cur.entries)+len(msg.CL.Created))}
-	for _, e := range cur.entries {
-		if !deleted[e.slot] {
-			next.entries = append(next.entries, e)
+	cur := &s.versions[len(s.versions)-1]
+	next := selVersion{from: at, entries: s.takeEntries(len(cur.entries) + len(msg.CL.Created))}
+	switch {
+	case len(msg.CL.Deleted) == 0:
+		next.entries = append(next.entries, cur.entries...)
+	case len(msg.CL.Deleted) <= smallDeleteScan:
+		for _, e := range cur.entries {
+			if !slotDeleted(msg.CL, e.slot) {
+				next.entries = append(next.entries, e)
+			}
 		}
+	default:
+		if s.delScratch == nil {
+			s.delScratch = make(map[int]struct{}, len(msg.CL.Deleted))
+		}
+		for _, d := range msg.CL.Deleted {
+			s.delScratch[d.Slot] = struct{}{}
+		}
+		for _, e := range cur.entries {
+			if _, del := s.delScratch[e.slot]; !del {
+				next.entries = append(next.entries, e)
+			}
+		}
+		clear(s.delScratch)
 	}
 	for _, c := range msg.CL.Created {
 		q := msg.Defs[c.Query]
@@ -179,16 +244,99 @@ func (s *SharedSelection) OnChangelog(payload any, at event.Time, _ *spe.Emitter
 		next.entries = append(next.entries, selEntry{slot: c.Slot, id: c.Query, pred: q.Predicates[s.stream]})
 	}
 	s.versions = append(s.versions, next)
+	s.indexes = append(s.indexes, s.buildIndex(next.entries))
 }
 
-// OnWatermark prunes table versions that no in-flight tuple can reference.
+func slotDeleted(cl *changelog.Changelog, slot int) bool {
+	for _, d := range cl.Deleted {
+		if d.Slot == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// takeEntries returns an empty entry slice with at least the given
+// capacity, recycling a pruned version's backing when one fits.
+func (s *SharedSelection) takeEntries(capNeed int) []selEntry {
+	for i := len(s.entryPool) - 1; i >= 0; i-- {
+		if cap(s.entryPool[i]) >= capNeed {
+			e := s.entryPool[i][:0]
+			s.entryPool[i] = s.entryPool[len(s.entryPool)-1]
+			s.entryPool[len(s.entryPool)-1] = nil
+			s.entryPool = s.entryPool[:len(s.entryPool)-1]
+			return e
+		}
+	}
+	if capNeed < 4 {
+		capNeed = 4
+	}
+	return make([]selEntry, 0, capNeed)
+}
+
+// buildIndex compiles entries into a predicate index, or nil when fault
+// injection is active: the injected hook must run before every per-entry
+// predicate evaluation, so the naive scan is the contract there.
+func (s *SharedSelection) buildIndex(entries []selEntry) *selIndex {
+	if s.faultHook != nil {
+		return nil
+	}
+	if s.metrics != nil {
+		atomic.AddUint64(&s.metrics.IndexBuilds, 1)
+	}
+	return buildSelIndex(entries)
+}
+
+// rebuildIndexes recompiles every version's index from its entry table:
+// the repopulation path for the derived indexes field, called by Restore.
+func (s *SharedSelection) rebuildIndexes() {
+	s.indexes = make([]*selIndex, len(s.versions))
+	for i := range s.versions {
+		s.indexes[i] = s.buildIndex(s.versions[i].entries)
+	}
+}
+
+// installTable replaces the whole table with one version active from
+// MinTime (benchmarks and tests; production tables arrive via OnChangelog).
+func (s *SharedSelection) installTable(entries []selEntry) {
+	s.versions = []selVersion{{from: event.MinTime, entries: entries}}
+	s.rebuildIndexes()
+}
+
+// IndexStats reports the compiled-index composition of the newest table
+// version (zero when that version runs the scan path). Tests, benchmarks,
+// and QoS reporting; call at a quiescent point like ActiveEntries.
+func (s *SharedSelection) IndexStats() SelIndexStats {
+	if ix := s.indexes[len(s.indexes)-1]; ix != nil {
+		return ix.stats
+	}
+	return SelIndexStats{}
+}
+
+// OnWatermark prunes table versions that no in-flight tuple can reference,
+// recycling their entry backings into the changelog pool.
 func (s *SharedSelection) OnWatermark(wm event.Time, _ *spe.Emitter) {
 	s.wm = wm
 	horizon := wm - s.lateness
 	// Keep the last version with from ≤ horizon and everything later.
 	i := sort.Search(len(s.versions), func(i int) bool { return s.versions[i].from > horizon }) - 1
 	if i > 0 {
-		s.versions = append(s.versions[:0], s.versions[i:]...)
+		n := len(s.versions)
+		for j := 0; j < i; j++ {
+			if e := s.versions[j].entries; cap(e) > 0 && len(s.entryPool) < entryPoolCap {
+				clear(e[:cap(e)])
+				s.entryPool = append(s.entryPool, e[:0])
+			}
+			s.versions[j] = selVersion{}
+		}
+		copy(s.versions, s.versions[i:])
+		copy(s.indexes, s.indexes[i:])
+		for j := n - i; j < n; j++ {
+			s.versions[j] = selVersion{}
+			s.indexes[j] = nil
+		}
+		s.versions = s.versions[:n-i]
+		s.indexes = s.indexes[:n-i]
 	}
 }
 
@@ -209,6 +357,9 @@ type OpMetrics struct {
 	AggOut     uint64 // aggregation rows produced
 	PairsDone  uint64 // slice pairs joined (cache misses)
 	PairsReuse uint64 // slice-pair results reused from cache
+	// IndexBuilds counts predicate-index compilations (changelog/restore):
+	// all index construction cost lands here, never on the tuple path.
+	IndexBuilds uint64
 
 	QuerySetGen componentTimer // shared selection predicate evaluation
 	BitsetOps   componentTimer // masking/intersection during triggers

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"sort"
+
+	"astream/internal/bitset"
+	"astream/internal/event"
+	"astream/internal/expr"
+)
+
+// This file is the shared selection's predicate index (DESIGN.md §14): the
+// compiled evaluation plan that replaces the naive per-entry scan in
+// SharedSelection.OnTuple while producing bit-identical query-sets. One
+// index is compiled per query-table version at OnChangelog/Restore time
+// (control path, allocation allowed); classification (hot path) then runs
+// in four layers:
+//
+//  1. always-true predicates are a precomputed bitset OR — zero evaluation;
+//  2. structurally equal predicates (canonical-form dedup) evaluate once
+//     and fan their result into every subscriber slot via a per-node
+//     bitset OR;
+//  3. single-field predicates dispatch on the tuple's field value: exact
+//     points through a hash map, intervals through a sorted stabbing index,
+//     so a tuple touches O(log n + matches) entries instead of all n;
+//  4. remaining (multi-field / holed) predicates evaluate through a
+//     containment lattice: when a weaker predicate fails, every predicate
+//     it contains is pruned without evaluation.
+//
+// Entries whose predicates cannot be canonicalized (out-of-range field — the
+// only way a predicate can panic data-dependently) stay on the guarded
+// per-entry path so panic isolation and quarantine attribution are preserved
+// exactly. Always-false predicates are excluded from evaluation entirely.
+
+// SelIndexStats summarizes one compiled index's composition (tests, QoS,
+// benchmarks). Entries = AlwaysTrue + AlwaysFalse + Deduped + Fallback +
+// Nodes, and Nodes = EqDispatch + RangeDispatch + Lattice.
+type SelIndexStats struct {
+	Entries       int // live predicate entries in the version
+	Nodes         int // deduplicated canonical predicates
+	AlwaysTrue    int // entries satisfied by every tuple (bitset OR, no eval)
+	AlwaysFalse   int // contradictory entries excluded from evaluation
+	Deduped       int // entries folded into an existing node's fan-out
+	EqDispatch    int // nodes served by the per-field point hash
+	RangeDispatch int // nodes served by the interval-stabbing index
+	Lattice       int // nodes evaluated through the containment lattice
+	LatticeRoots  int // lattice roots (weakest predicates, tried first)
+	Fallback      int // entries kept on the guarded per-entry path
+}
+
+// Add accumulates o into s (per-stream aggregation).
+func (s *SelIndexStats) Add(o SelIndexStats) {
+	s.Entries += o.Entries
+	s.Nodes += o.Nodes
+	s.AlwaysTrue += o.AlwaysTrue
+	s.AlwaysFalse += o.AlwaysFalse
+	s.Deduped += o.Deduped
+	s.EqDispatch += o.EqDispatch
+	s.RangeDispatch += o.RangeDispatch
+	s.Lattice += o.Lattice
+	s.LatticeRoots += o.LatticeRoots
+	s.Fallback += o.Fallback
+}
+
+// selNode is one deduplicated canonical predicate and its fan-out: the
+// query-set bits of every entry whose predicate canonicalized to this form.
+type selNode struct {
+	canon expr.Canonical
+	bits  bitset.Bits
+	// kids are lattice children: nodes whose canonical form is contained in
+	// this one (they can only match when this node matches). Empty for
+	// dispatched nodes.
+	kids []int32
+	// sel is the build-time selectivity estimate ordering lattice siblings
+	// weakest-first.
+	sel float64
+}
+
+// ivIndex is a static interval-stabbing index: intervals sorted by Lo with
+// an implicit balanced BST (midpoint recursion) augmented by the subtree's
+// maximum Hi. stab visits O(log n + matches) nodes for the workload's
+// one-sided intervals (general two-sided worst case O(matches · log n)).
+type ivIndex struct {
+	lo, hi []int64
+	// maxHi[m] is the maximum hi over the subtree whose midpoint is m in
+	// the stab recursion.
+	maxHi []int64
+	node  []int32
+}
+
+// fieldDispatch routes one tuple column to its matching single-field nodes.
+type fieldDispatch struct {
+	// eq maps an exact constraint point to the nodes pinned to it.
+	eq map[int64][]int32
+	iv ivIndex
+}
+
+// selIndex is the compiled classification plan for one selVersion.
+type selIndex struct {
+	// always is the union of every always-true entry's slot bit.
+	always bitset.Bits
+	nodes  []selNode
+	// dispatch[0] serves the tuple key, dispatch[f+1] payload field f.
+	dispatch [event.NumFields + 1]fieldDispatch
+	// roots are the containment-lattice roots among general nodes.
+	roots []int32
+	// fallback indexes (into the version's entry table) the entries that
+	// must evaluate through the guarded per-entry path.
+	fallback []int32
+	stats    SelIndexStats
+}
+
+// latticeFieldMax is the uniform-domain assumption for ordering lattice
+// siblings by estimated selectivity; it matches the workload generator's
+// default field domain. Only evaluation order depends on it, never results.
+const latticeFieldMax = 1000
+
+// buildSelIndex compiles a version's entry table into an index. Control
+// path: runs at changelog/restore time, never per tuple.
+func buildSelIndex(entries []selEntry) *selIndex {
+	ix := &selIndex{}
+	ix.stats.Entries = len(entries)
+	byKey := make(map[string]int32, len(entries))
+	var keyBuf []byte
+	for i := range entries {
+		e := &entries[i]
+		canon, err := expr.Canonicalize(e.pred)
+		if err != nil {
+			// Non-canonicalizable (out-of-range field): the only predicate
+			// class that can panic, so it keeps its per-entry isolation
+			// boundary and exact quarantine attribution.
+			ix.fallback = append(ix.fallback, int32(i))
+			ix.stats.Fallback++
+			continue
+		}
+		if canon.False {
+			ix.stats.AlwaysFalse++
+			continue
+		}
+		if canon.AlwaysTrue() {
+			ix.always.Set(e.slot)
+			ix.stats.AlwaysTrue++
+			continue
+		}
+		keyBuf = canon.AppendKey(keyBuf[:0])
+		if ni, ok := byKey[string(keyBuf)]; ok {
+			ix.nodes[ni].bits.Set(e.slot)
+			ix.stats.Deduped++
+			continue
+		}
+		ni := int32(len(ix.nodes))
+		var bits bitset.Bits
+		bits.Set(e.slot)
+		ix.nodes = append(ix.nodes, selNode{
+			canon: canon,
+			bits:  bits,
+			sel:   canon.Selectivity(latticeFieldMax),
+		})
+		byKey[string(keyBuf)] = ni
+	}
+	ix.stats.Nodes = len(ix.nodes)
+
+	// Partition nodes: single-field hole-free constraints dispatch on the
+	// field value; everything else goes through the containment lattice.
+	var general []int32
+	for ni := range ix.nodes {
+		n := &ix.nodes[ni]
+		if len(n.canon.Constraints) == 1 && len(n.canon.Constraints[0].Holes) == 0 {
+			fc := &n.canon.Constraints[0]
+			d := &ix.dispatch[fc.Field+1]
+			if fc.Iv.Lo == fc.Iv.Hi {
+				if d.eq == nil {
+					d.eq = make(map[int64][]int32)
+				}
+				d.eq[fc.Iv.Lo] = append(d.eq[fc.Iv.Lo], int32(ni))
+				ix.stats.EqDispatch++
+			} else {
+				d.iv.lo = append(d.iv.lo, fc.Iv.Lo)
+				d.iv.hi = append(d.iv.hi, fc.Iv.Hi)
+				d.iv.node = append(d.iv.node, int32(ni))
+				ix.stats.RangeDispatch++
+			}
+			continue
+		}
+		general = append(general, int32(ni))
+	}
+	for f := range ix.dispatch {
+		ix.dispatch[f].iv.build()
+	}
+	ix.buildLattice(general)
+	ix.stats.Lattice = len(general)
+	ix.stats.LatticeRoots = len(ix.roots)
+	return ix
+}
+
+// buildLattice arranges the general nodes into a containment forest:
+// weakest predicates become roots, each node hangs under the first existing
+// node whose canonical form contains it. Insertion order (selectivity
+// descending, creation order on ties) guarantees containers are placed
+// before their containees, and makes the forest deterministic.
+func (ix *selIndex) buildLattice(general []int32) {
+	sort.SliceStable(general, func(i, j int) bool {
+		si, sj := ix.nodes[general[i]].sel, ix.nodes[general[j]].sel
+		if si != sj {
+			return si > sj
+		}
+		return general[i] < general[j]
+	})
+	for _, ni := range general {
+		n := &ix.nodes[ni]
+		level := &ix.roots
+	descend:
+		for {
+			for _, ci := range *level {
+				c := &ix.nodes[ci]
+				if c.canon.Contains(&n.canon) {
+					level = &c.kids
+					continue descend
+				}
+			}
+			break
+		}
+		*level = append(*level, ni)
+	}
+}
+
+// build finalizes the stabbing index: co-sorts the interval arrays by
+// (Lo, Hi, node) and computes the subtree-max augmentation along the same
+// midpoint decomposition stab descends.
+func (iv *ivIndex) build() {
+	if len(iv.node) == 0 {
+		return
+	}
+	sort.Sort((*ivSorter)(iv))
+	iv.maxHi = make([]int64, len(iv.node))
+	iv.fillMax(0, len(iv.node)-1)
+}
+
+func (iv *ivIndex) fillMax(l, r int) int64 {
+	if l > r {
+		return minInt64
+	}
+	m := int(uint(l+r) >> 1)
+	mx := iv.hi[m]
+	if v := iv.fillMax(l, m-1); v > mx {
+		mx = v
+	}
+	if v := iv.fillMax(m+1, r); v > mx {
+		mx = v
+	}
+	iv.maxHi[m] = mx
+	return mx
+}
+
+const minInt64 = -1 << 63
+
+// ivSorter co-sorts the parallel interval arrays.
+type ivSorter ivIndex
+
+func (s *ivSorter) Len() int { return len(s.node) }
+func (s *ivSorter) Less(i, j int) bool {
+	if s.lo[i] != s.lo[j] {
+		return s.lo[i] < s.lo[j]
+	}
+	if s.hi[i] != s.hi[j] {
+		return s.hi[i] < s.hi[j]
+	}
+	return s.node[i] < s.node[j]
+}
+func (s *ivSorter) Swap(i, j int) {
+	s.lo[i], s.lo[j] = s.lo[j], s.lo[i]
+	s.hi[i], s.hi[j] = s.hi[j], s.hi[i]
+	s.node[i], s.node[j] = s.node[j], s.node[i]
+}
+
+// classify computes the tuple's query-set into qs: the indexed equivalent
+// of scanEntries, bit-identical by construction (and property-tested).
+// Allocation-free in steady state.
+//
+//lint:hotpath
+func (ix *selIndex) classify(s *SharedSelection, v *selVersion, t *event.Tuple, qs *bitset.Bits) {
+	qs.OrInPlace(ix.always)
+	for f := 0; f < len(ix.dispatch); f++ {
+		d := &ix.dispatch[f]
+		if d.eq == nil && len(d.iv.node) == 0 {
+			continue
+		}
+		var val int64
+		if f == 0 {
+			val = t.Key
+		} else {
+			val = t.Fields[f-1]
+		}
+		if d.eq != nil {
+			for _, ni := range d.eq[val] {
+				qs.OrInPlace(ix.nodes[ni].bits)
+			}
+		}
+		if len(d.iv.node) > 0 {
+			d.iv.stab(ix.nodes, 0, len(d.iv.node)-1, val, qs)
+		}
+	}
+	if len(ix.roots) > 0 {
+		ix.walkLattice(ix.roots, t, qs)
+	}
+	for _, ei := range ix.fallback {
+		e := &v.entries[ei]
+		if s.evalEntry(e, t) {
+			qs.Set(e.slot)
+		}
+	}
+}
+
+// walkLattice evaluates a sibling list: a matching node fans its bits and
+// descends to the predicates it contains; a failing node prunes its entire
+// contained subtree.
+//
+//lint:hotpath
+func (ix *selIndex) walkLattice(list []int32, t *event.Tuple, qs *bitset.Bits) {
+	for _, ni := range list {
+		n := &ix.nodes[ni]
+		if n.canon.Match(t) {
+			qs.OrInPlace(n.bits)
+			if len(n.kids) > 0 {
+				ix.walkLattice(n.kids, t, qs)
+			}
+		}
+	}
+}
+
+// stab fans the bits of every interval containing v within the subtree
+// [l, r] of the midpoint decomposition. The subtree-max prunes regions
+// whose every interval ends below v; the Lo sort order prunes right
+// subtrees once Lo exceeds v.
+//
+//lint:hotpath
+func (iv *ivIndex) stab(nodes []selNode, l, r int, v int64, qs *bitset.Bits) {
+	for l <= r {
+		m := int(uint(l+r) >> 1)
+		if iv.maxHi[m] < v {
+			return
+		}
+		if m > l {
+			iv.stab(nodes, l, m-1, v, qs)
+		}
+		if iv.lo[m] > v {
+			return
+		}
+		if iv.hi[m] >= v {
+			qs.OrInPlace(nodes[iv.node[m]].bits)
+		}
+		l = m + 1
+	}
+}

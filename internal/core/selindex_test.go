@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"astream/internal/bitset"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/spe"
+)
+
+// These tests pin the predicate index's one contract (DESIGN.md §14): for
+// every predicate set and every tuple — in or out of order — indexed
+// classification produces the exact query-set and the exact quarantine
+// attributions of the naive per-entry scan it replaced.
+
+// nopHook forces an instance onto the naive scan path (a non-nil fault hook
+// disables index builds) without changing evaluation semantics.
+type nopHook struct{}
+
+func (nopHook) BeforePredicate(int, int) {}
+
+// randIndexPred draws predicates the way adversarial ad-hoc workloads look:
+// duplicated templates, contained intervals, contradictions, multi-field
+// conjunctions, NE holes, key-field constraints, and invalid-field
+// predicates that panic data-dependently under naive evaluation.
+func randIndexPred(r *rand.Rand, templates []expr.Predicate) expr.Predicate {
+	if len(templates) > 0 && r.Intn(100) < 30 {
+		return templates[r.Intn(len(templates))] // duplicate an earlier predicate
+	}
+	p := expr.True()
+	n := r.Intn(4)
+	for i := 0; i < n; i++ {
+		field := r.Intn(event.NumFields+1) - 1 // KeyField..NumFields-1
+		if r.Intn(100) < 8 {
+			field = event.NumFields + r.Intn(3) // invalid: panics on evaluation
+		}
+		p = p.And(expr.Comparison{
+			Field: field,
+			Op:    expr.Op(r.Intn(6)),
+			Value: int64(r.Intn(30)),
+		})
+	}
+	return p
+}
+
+func randIndexTuple(r *rand.Rand, tmax int) event.Tuple {
+	t := event.Tuple{
+		Key:  int64(r.Intn(30)),
+		Time: event.Time(r.Intn(tmax)),
+	}
+	for f := range t.Fields {
+		t.Fields[f] = int64(r.Intn(30))
+	}
+	return t
+}
+
+// TestIndexedClassificationAgreesWithScan co-drives an indexed instance and
+// a scan-forced instance through identical changelog/tuple/watermark
+// sequences and requires bit-identical query-sets plus identical panic
+// attribution on every tuple, including out-of-order tuples that classify
+// against older table versions.
+func TestIndexedClassificationAgreesWithScan(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+
+			idx := NewSharedSelection(0, 50, NewOpMetrics(nil))
+			scan := NewSharedSelection(0, 50, NewOpMetrics(nil))
+			scan.faultHook = nopHook{}
+			var idxPanics, scanPanics []int
+			idx.onPredPanic = func(id int, _ any) { idxPanics = append(idxPanics, id) }
+			scan.onPredPanic = func(id int, _ any) { scanPanics = append(scanPanics, id) }
+
+			b := newCLBuilder()
+			var templates []expr.Predicate
+			var active []int
+			em := &spe.Emitter{}
+
+			apply := func(msg *ChangelogMsg, at event.Time) {
+				idx.OnChangelog(msg, at, nil)
+				scan.OnChangelog(msg, at, nil)
+			}
+			for step := 0; step < 40; step++ {
+				at := event.Time(step * 100)
+				// Mutate the workload: mostly creations, sometimes deletions
+				// (occasionally enough of them to exercise the map-based path).
+				if len(active) > 4 && r.Intn(100) < 35 {
+					ndel := 1 + r.Intn(3)
+					if r.Intn(100) < 25 {
+						ndel = len(active)/2 + smallDeleteScan // force delScratch
+					}
+					if ndel > len(active) {
+						ndel = len(active)
+					}
+					r.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+					apply(b.remove(t, at, active[:ndel]...), at)
+					active = active[ndel:]
+				} else {
+					nq := 1 + r.Intn(6)
+					qs := make([]*Query, nq)
+					for i := range qs {
+						p := randIndexPred(r, templates)
+						templates = append(templates, p)
+						qs[i] = &Query{Kind: KindSelection, Arity: 1, Predicates: []expr.Predicate{p}}
+					}
+					msg := b.create(t, at, qs...)
+					for _, q := range qs {
+						active = append(active, q.ID)
+					}
+					apply(msg, at)
+				}
+				if len(idx.versions) != len(idx.indexes) {
+					t.Fatalf("step %d: %d versions but %d indexes", step, len(idx.versions), len(idx.indexes))
+				}
+
+				// Tuples spanning every live version, including times far
+				// behind the newest changelog.
+				for i := 0; i < 60; i++ {
+					tu := randIndexTuple(r, (step+1)*100+50)
+					idxPanics, scanPanics = idxPanics[:0], scanPanics[:0]
+					idx.OnTuple(0, tu, em)
+					scan.OnTuple(0, tu, em)
+					if !idx.qsTmp.Equal(scan.qsTmp) {
+						t.Fatalf("step %d tuple %+v: indexed set %v != scan set %v",
+							step, tu, idx.qsTmp.Words(), scan.qsTmp.Words())
+					}
+					if len(idxPanics) != len(scanPanics) {
+						t.Fatalf("step %d tuple %+v: panic attribution %v != %v",
+							step, tu, idxPanics, scanPanics)
+					}
+					for j := range idxPanics {
+						if idxPanics[j] != scanPanics[j] {
+							t.Fatalf("step %d tuple %+v: panic attribution %v != %v",
+								step, tu, idxPanics, scanPanics)
+						}
+					}
+				}
+
+				// Occasionally advance the watermark so versions get pruned
+				// (and the indexed instance recycles entry backings).
+				if r.Intn(100) < 40 {
+					wm := at - event.Time(r.Intn(200))
+					if wm > 0 {
+						idx.OnWatermark(wm, nil)
+						scan.OnWatermark(wm, nil)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIndexSurvivesSnapshotRestore: the index is derived state — a restored
+// instance must recompile it from the decoded entry table and classify
+// exactly like the original.
+func TestIndexSurvivesSnapshotRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	sel := NewSharedSelection(0, 50, NewOpMetrics(nil))
+	b := newCLBuilder()
+	var templates []expr.Predicate
+	for step := 0; step < 5; step++ {
+		qs := make([]*Query, 8)
+		for i := range qs {
+			p := randIndexPred(r, templates)
+			templates = append(templates, p)
+			qs[i] = &Query{Kind: KindSelection, Arity: 1, Predicates: []expr.Predicate{p}}
+		}
+		at := event.Time(step * 100)
+		sel.OnChangelog(b.create(t, at, qs...), at, nil)
+	}
+
+	restored := NewSharedSelection(0, 50, NewOpMetrics(nil))
+	if err := restored.Restore(sel.OnBarrier(1, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.indexes) != len(restored.versions) {
+		t.Fatalf("restored %d versions but %d indexes", len(restored.versions), len(restored.indexes))
+	}
+	for i, ix := range restored.indexes {
+		if ix == nil {
+			t.Fatalf("restored version %d has no compiled index", i)
+		}
+		if got, want := ix.stats, sel.indexes[i].stats; got != want {
+			t.Fatalf("version %d stats diverge after restore: %+v vs %+v", i, got, want)
+		}
+	}
+	em := &spe.Emitter{}
+	for i := 0; i < 500; i++ {
+		tu := randIndexTuple(r, 550)
+		sel.OnTuple(0, tu, em)
+		restored.OnTuple(0, tu, em)
+		if !sel.qsTmp.Equal(restored.qsTmp) {
+			t.Fatalf("tuple %+v: original %v restored %v", tu, sel.qsTmp.Words(), restored.qsTmp.Words())
+		}
+	}
+}
+
+// TestOverlapIndexComposition pins how the 512-query overlap workload
+// compiles: heavy dedup, every dispatch layer populated, and the chained
+// containment group collapsed under a single lattice root.
+func TestOverlapIndexComposition(t *testing.T) {
+	sel := NewSharedSelection(0, 0, NewOpMetrics(nil))
+	sel.installTable(overlapEntries(512))
+	st := sel.IndexStats()
+	want := SelIndexStats{
+		Entries:       512,
+		Nodes:         57, // 1 wide template + 32 points + 16 ranges + 8 chain links
+		Deduped:       455,
+		EqDispatch:    32,
+		RangeDispatch: 17, // the wide template + the 16 one-sided ranges
+		Lattice:       8,
+		LatticeRoots:  1, // P₀ contains the whole chain
+	}
+	if st != want {
+		t.Fatalf("overlap index stats = %+v, want %+v", st, want)
+	}
+
+	// And the workload classifies identically to the scan.
+	scan := NewSharedSelection(0, 0, NewOpMetrics(nil))
+	scan.faultHook = nopHook{}
+	scan.installTable(overlapEntries(512))
+	em := &spe.Emitter{}
+	for i := 0; i < 4096; i++ {
+		tu := benchTuple(i, bitset.Bits{}, 50)
+		sel.OnTuple(0, tu, em)
+		scan.OnTuple(0, tu, em)
+		if !sel.qsTmp.Equal(scan.qsTmp) {
+			t.Fatalf("tuple %d: indexed %v scan %v", i, sel.qsTmp.Words(), scan.qsTmp.Words())
+		}
+	}
+}
+
+// TestChangelogReusesEntryCapacity pins the control-path churn fix: a
+// changelog with no deletions must not rebuild a deletion set, and entry
+// backings from watermark-pruned versions are recycled into later tables.
+func TestChangelogReusesEntryCapacity(t *testing.T) {
+	sel := NewSharedSelection(0, 0, NewOpMetrics(nil))
+	b := newCLBuilder()
+	mk := func(n int) []*Query {
+		qs := make([]*Query, n)
+		for i := range qs {
+			qs[i] = &Query{Kind: KindSelection, Arity: 1, Predicates: []expr.Predicate{
+				expr.True().And(expr.Comparison{Field: 0, Op: expr.LT, Value: 500}),
+			}}
+		}
+		return qs
+	}
+	first := b.create(t, 0, mk(16)...)
+	ids := make([]int, 0, 8)
+	for _, c := range first.CL.Created {
+		if len(ids) < 8 {
+			ids = append(ids, c.Query)
+		}
+	}
+	sel.OnChangelog(first, 0, nil)
+	sel.OnChangelog(b.remove(t, 100, ids...), 100, nil)
+	if got := sel.ActiveEntries(); got != 8 {
+		t.Fatalf("active entries = %d, want 8", got)
+	}
+	// Prune the first two versions; the 16-entry backing goes to the pool.
+	sel.OnWatermark(250, nil)
+	if len(sel.versions) != 1 || len(sel.indexes) != 1 {
+		t.Fatalf("after prune: %d versions, %d indexes", len(sel.versions), len(sel.indexes))
+	}
+	pooled := len(sel.entryPool)
+	if pooled == 0 {
+		t.Fatalf("pruned entry backings were not pooled")
+	}
+	sel.OnChangelog(b.create(t, 300, mk(2)...), 300, nil)
+	if len(sel.entryPool) >= pooled {
+		t.Fatalf("changelog did not draw from the entry pool (%d -> %d)", pooled, len(sel.entryPool))
+	}
+	if got := sel.ActiveEntries(); got != 10 {
+		t.Fatalf("active entries = %d, want 10", got)
+	}
+}

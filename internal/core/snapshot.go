@@ -528,6 +528,7 @@ func (s *SharedSelection) Restore(snapshot []byte) error {
 	}
 	s.wm = wm
 	s.versions = versions
+	s.rebuildIndexes()
 	return nil
 }
 

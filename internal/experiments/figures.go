@@ -67,6 +67,23 @@ func Fig9SC1Throughput(sc Scale, nodes []int) []Measurement {
 	return out
 }
 
+// Fig9QuerySweep runs Figure 9's query-count axis directly: SC1 at exactly
+// the given MaxParallelQ counts (the paper's 1 → 100+ sweep) for both
+// workload kinds on one node count, so the whole throughput-vs-queries
+// curve comes out of a single invocation instead of the four fixed grid
+// points. Query arrival rate scales with the target count the way the SC1
+// grid does (~q/10, min 1).
+func Fig9QuerySweep(sc Scale, nodes int, counts []int) []Measurement {
+	var out []Measurement
+	for _, kind := range []QueryKind{JoinK, AggK} {
+		for _, q := range counts {
+			p := Params{Scenario: "SC1", QueriesPerSec: float64(maxi(1, q/10)), MaxParallelQ: q}
+			out = append(out, Run(apply(p, kind, AStream, nodes, sc, 1)))
+		}
+	}
+	return out
+}
+
 // DeployPoint is one query's deployment latency in arrival order (Figure 10).
 type DeployPoint struct {
 	Ordinal int
