@@ -34,12 +34,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: fig9|fig9sweep|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|all")
+	exp := flag.String("exp", "all", "experiment: fig9|fig9sweep|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|fig18|fig19|fig20|figslide|all")
 	warmup := flag.Duration("warmup", 300*time.Millisecond, "steady-state warmup per run")
 	measure := flag.Duration("measure", 700*time.Millisecond, "measurement window per run")
 	nodesFlag := flag.String("nodes", "4,8", "comma-separated simulated node counts")
 	maxQ := flag.Int("maxq", 256, "maximum query parallelism for fig17")
 	queries := flag.String("queries", "1,10,50,100,200", "comma-separated query counts for the fig9sweep query-count axis")
+	slides := flag.String("slide", "1,8,32,128", "comma-separated window/slide ratios for the figslide sweep")
 	jsonDir := flag.String("json", "", "write BENCH_kernels.json, BENCH_recovery.json, and BENCH_figs.json into this directory and exit")
 	flag.Parse()
 
@@ -150,6 +151,15 @@ func main() {
 		}
 	})
 
+	run("figslide", func() {
+		fmt.Printf("Slide-ratio sweep: aggregation throughput vs window/slide ratio %s (-slide)\n", *slides)
+		for _, n := range nodes {
+			for _, m := range experiments.FigSlideSweep(sc, n, parseInts(*slides)) {
+				fmt.Printf("  ratio %4d: %s\n", int(m.Params.WindowLen/m.Params.WindowSlide), m.Row())
+			}
+		}
+	})
+
 	run("fig20", func() {
 		fmt.Println("Figure 20: sustainable ad-hoc queries vs node count (fixed offered rate)")
 		counts := []int{25, 50, 100, 200, 400}
@@ -162,7 +172,7 @@ func main() {
 
 	if *exp != "all" {
 		switch *exp {
-		case "fig9", "fig9sweep", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20":
+		case "fig9", "fig9sweep", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "figslide":
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 			os.Exit(2)
@@ -224,11 +234,14 @@ func writeJSON(dir string, sc experiments.Scale, nodes []int) error {
 
 	fig9 := experiments.Fig9SC1Throughput(sc, nodes)
 	fig1112 := experiments.Fig11And12SC1Latencies(sc, nodes)
+	figSlide := experiments.FigSlideSweep(sc, nodes[0], []int{1, 8, 32, 128})
 	fmt.Printf("fig9_sc1_throughput: %d measurements\n", len(fig9))
 	fmt.Printf("fig11_12_sc1_latency: %d measurements\n", len(fig1112))
+	fmt.Printf("figslide_ratio_sweep: %d measurements\n", len(figSlide))
 	figs := map[string][]experiments.Measurement{
 		"fig9_sc1_throughput":  fig9,
 		"fig11_12_sc1_latency": fig1112,
+		"figslide_ratio_sweep": figSlide,
 	}
 	return writeFileJSON(filepath.Join(dir, "BENCH_figs.json"), figs)
 }

@@ -10,6 +10,7 @@ import (
 	"astream/internal/event"
 	"astream/internal/expr"
 	"astream/internal/spe"
+	"astream/internal/window"
 )
 
 // BenchmarkAblationSliceStore contrasts the grouped, list, and adaptive
@@ -150,6 +151,43 @@ func BenchmarkAblationSelectionIndex(b *testing.B) {
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
 						sel.OnTuple(0, benchTuple(i, bitset.Bits{}, 50), em)
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkAblationWindowFire contrasts the shared window-fire engine
+// (DESIGN.md §15: merge tree + class dedup + fingerprint fan-out) against
+// the per-slice re-merge arm it replaced, across window/slide ratios (how
+// many slices one window spans) and query counts (how much combine work the
+// classes dedup). The re-merge arm is forced by disabling the tree, exactly
+// the mechanism fault injection uses. Each iteration folds one fresh tuple
+// and fires one full-length window, mirroring the windowfire kernel.
+func BenchmarkAblationWindowFire(b *testing.B) {
+	for _, ratio := range []int{8, 32, 128} {
+		for _, queries := range []int{16, 64, 256} {
+			for _, mode := range []string{"remerge", "tree"} {
+				b.Run(fmt.Sprintf("ratio%d/%dq/%s", ratio, queries, mode), func(b *testing.B) {
+					length := event.Time(ratio * 100)
+					agg := benchAggWindow(queries, window.SlidingSpec(length, 100))
+					if mode == "remerge" {
+						agg.disableMergeTree()
+					}
+					qs := bitset.AllUpTo(queries)
+					em := &spe.Emitter{}
+					// ~16 tuples per slice over 32 keys.
+					for i := 0; i < 16*ratio; i++ {
+						agg.OnTuple(0, benchTuple(i, qs, event.Time(i)*100/16%length), em)
+					}
+					ext := window.Extent{Start: 0, End: length}
+					agg.fireBench(ext)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						agg.OnTuple(0, benchTuple(i, qs, length-1), em)
+						agg.fireBench(ext)
 					}
 				})
 			}

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -74,18 +76,31 @@ func (v *aggVal) merge(o *aggVal) {
 	}
 }
 
+// finalizeCountSum computes the query-visible value of the count/sum family
+// from a (count, sum) pair. Both slice-partial finalize and session harvest
+// route through it so truncation rules (integer Avg, empty-count zero)
+// cannot diverge when aggregate functions are added.
+func finalizeCountSum(fn sqlstream.AggFunc, count, sum int64) int64 {
+	switch fn {
+	case sqlstream.AggCount:
+		return count
+	case sqlstream.AggAvg:
+		if count == 0 {
+			return 0
+		}
+		return sum / count
+	default:
+		return sum
+	}
+}
+
 // finalize computes the query-visible value.
 func (v *aggVal) finalize(fn sqlstream.AggFunc, field int) int64 {
 	switch fn {
 	case sqlstream.AggCount:
-		return v.Count
-	case sqlstream.AggSum:
-		return v.Sum[field]
-	case sqlstream.AggAvg:
-		if v.Count == 0 {
-			return 0
-		}
-		return v.Sum[field] / v.Count
+		return finalizeCountSum(fn, v.Count, 0)
+	case sqlstream.AggSum, sqlstream.AggAvg:
+		return finalizeCountSum(fn, v.Count, v.Sum[field])
 	case sqlstream.AggMin:
 		return v.Min[field]
 	case sqlstream.AggMax:
@@ -199,7 +214,45 @@ type SharedAggregation struct {
 	valPool []*aggVal
 	//lint:ephemeral per-trigger scratch
 	specsTmp []window.Spec
+
+	// Shared window-fire engine (DESIGN.md §15): the merge tree memoizes
+	// slice partials, classes dedup combine work across queries, and
+	// fingerprints fan one finalized accumulator out to every query with
+	// identical class membership.
+	//lint:ephemeral derived merge tree over the live slice ring, rebuilt by rebuildMergeTree on Restore
+	tree *mergeTree
+	//lint:ephemeral constructor wiring (fault injection forces the scan arm)
+	treeOff bool
+	//lint:ephemeral per-trigger scratch
+	nodeTmp []int32
+	//lint:ephemeral per-trigger scratch
+	classTmp []*fireClass
+	//lint:ephemeral per-trigger scratch
+	fpTmp []*fireFP
+	//lint:ephemeral per-trigger scratch
+	fpIdx []int32
+	//lint:ephemeral per-trigger scratch
+	qmaskTmp bitset.Bits
+	//lint:ephemeral per-trigger scratch
+	relqTmp bitset.Bits
+	// shareMinQueries/shareMinRun gate the shared arm per trigger: below
+	// both bounds the direct scan fires instead — a one-query trigger over
+	// a short slice run has nothing to share, and the class/fingerprint
+	// bookkeeping is pure overhead (randomized ad-hoc windows rarely
+	// coincide, so such triggers dominate churn-heavy workloads).
+	//lint:ephemeral constructor wiring (fire-dispatch threshold)
+	shareMinQueries int
+	//lint:ephemeral constructor wiring (fire-dispatch threshold)
+	shareMinRun int
 }
+
+// Shared-arm dispatch defaults: triggers with at least this many queries
+// (combine dedup pays off) or covering at least this many slices (the
+// O(log n) tree cover pays off) fire through the shared engine.
+const (
+	sharedFireMinQueries = 4
+	sharedFireMinRun     = 16
+)
 
 // aggTrigger collects the queries fired by one window extent.
 type aggTrigger struct {
@@ -214,10 +267,34 @@ type aggCapGroup struct {
 	idxs []int
 }
 
-// slotAccum accumulates one query's window result across slices. keys is
-// kept ascending by binary insert so emission needs no sort.
+// slotAccum accumulates one query's window result across slices. keys
+// collects byKey's keys in arrival order; emission sorts once per window
+// (the old per-insert binary shift was O(k²) across a window's keys).
 type slotAccum struct {
 	aq    *aggQuery
+	byKey map[int64]*aggVal
+	keys  []int64
+}
+
+// fireClass is one deduplicated combine accumulator within a fire: all
+// queries of one cap group whose effective membership (eff = node group
+// query-set ∩ Rel(epoch, cap) ∩ the cap group's slot mask) coincides share
+// the merge work that fireWindowScan would redo per query.
+type fireClass struct {
+	eff   bitset.Bits
+	byKey map[int64]*aggVal
+	keys  []int64
+}
+
+// fireFP fans class combinations out to queries: queries whose class
+// membership fingerprint — the (extent, cap, membership) key of DESIGN.md
+// §15 with extent and cap fixed by position — matches share one combined
+// accumulator. A single-class fingerprint aliases the class (cls != nil)
+// instead of copying it.
+type fireFP struct {
+	mask  uint64 // class bitmask, local to one cap group's class range
+	base  int    // first class index of that range
+	cls   *fireClass
 	byKey map[int64]*aggVal
 	keys  []int64
 }
@@ -232,7 +309,7 @@ type maskVersion struct {
 
 // NewSharedAggregation constructs the logic for one instance.
 func NewSharedAggregation(ports int, lateness event.Time, router *Router, m *OpMetrics) *SharedAggregation {
-	return &SharedAggregation{
+	a := &SharedAggregation{
 		ports:        ports,
 		sl:           newSlicer(),
 		table:        changelog.NewTable(),
@@ -244,7 +321,31 @@ func NewSharedAggregation(ports int, lateness event.Time, router *Router, m *OpM
 		lateness:     lateness,
 		lastWM:       event.MinTime,
 		evictedThru:  event.MinTime,
+
+		shareMinQueries: sharedFireMinQueries,
+		shareMinRun:     sharedFireMinRun,
 	}
+	a.rebuildMergeTree()
+	return a
+}
+
+// rebuildMergeTree (re)derives the shared window-fire tree, at construction
+// and after Restore. The tree itself carries no state worth keeping — it
+// re-anchors from the restored slice ring on the next sync.
+func (a *SharedAggregation) rebuildMergeTree() {
+	if a.treeOff {
+		a.tree = nil
+		return
+	}
+	a.tree = &mergeTree{owner: a}
+}
+
+// disableMergeTree forces the per-slice re-merge fire path, mirroring how
+// fault hooks disable the selection's predicate index: injected faults (and
+// the ablation baseline) demand the plain per-slice evaluation order.
+func (a *SharedAggregation) disableMergeTree() {
+	a.treeOff = true
+	a.tree = nil
 }
 
 // insertBySlot adds aq to the (slot, ID)-ordered list by binary insert
@@ -376,7 +477,10 @@ func (a *SharedAggregation) getVal() *aggVal {
 	return newAggVal()
 }
 
-func (a *SharedAggregation) putVal(v *aggVal) { a.valPool = append(a.valPool, v) }
+func (a *SharedAggregation) putVal(v *aggVal) {
+	//lint:ignore hotalloc amortized: freelist grows to the steady-state partial count once
+	a.valPool = append(a.valPool, v)
+}
 
 // OnTuple folds the tuple into slice partials (and serves selection queries
 // and session windows directly). Steady state allocates nothing: the masked
@@ -448,6 +552,7 @@ func (a *SharedAggregation) OnTuple(port int, t event.Tuple, _ *spe.Emitter) {
 		g.keys = append(g.keys, t.Key)
 	}
 	v.fold(&t)
+	sl.folds++
 }
 
 func (a *SharedAggregation) valueOf(aq *aggQuery, t *event.Tuple) int64 {
@@ -460,6 +565,7 @@ func (a *SharedAggregation) valueOf(aq *aggQuery, t *event.Tuple) int64 {
 // triggerFor returns the trigger for ext, keeping trigTmp sorted by
 // (End, Start) via binary insert instead of a per-watermark sort.
 func (a *SharedAggregation) triggerFor(ext window.Extent) *aggTrigger {
+	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
 	i := sort.Search(len(a.trigTmp), func(i int) bool {
 		t := a.trigTmp[i]
 		if t.ext.End != ext.End {
@@ -470,9 +576,23 @@ func (a *SharedAggregation) triggerFor(ext window.Extent) *aggTrigger {
 	if i < len(a.trigTmp) && a.trigTmp[i].ext == ext {
 		return a.trigTmp[i]
 	}
-	tr := &aggTrigger{ext: ext}
-	a.trigTmp = append(a.trigTmp, nil)
+	var tr *aggTrigger
+	if n := len(a.trigTmp); n < cap(a.trigTmp) {
+		// Reuse the spare trigger parked past the length by an earlier
+		// truncation, before the shift below overwrites its slot.
+		a.trigTmp = a.trigTmp[:n+1]
+		tr = a.trigTmp[n]
+	} else {
+		//lint:ignore hotalloc amortized: trigger list grows to the per-watermark extent count once
+		a.trigTmp = append(a.trigTmp, nil)
+	}
+	if tr == nil {
+		//lint:ignore hotalloc cold: trigger objects are recycled across watermarks once allocated
+		tr = &aggTrigger{}
+	}
 	copy(a.trigTmp[i+1:], a.trigTmp[i:])
+	tr.ext = ext
+	tr.queries = tr.queries[:0]
 	a.trigTmp[i] = tr
 	return tr
 }
@@ -514,6 +634,11 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 		}
 	}
 	cur := a.table.Latest()
+	// One sync serves the whole batch: overlapping extents triggered
+	// together share refreshed tree nodes across fires.
+	if a.tree != nil && len(a.trigTmp) > 0 {
+		a.tree.sync()
+	}
 	for _, tr := range a.trigTmp {
 		a.fireWindow(tr.ext, tr.queries, cur)
 	}
@@ -533,15 +658,7 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 					continue // session outlived the query
 				}
 				atomic.AddUint64(&a.metrics.AggOut, 1)
-				val := cs.Sum
-				switch aq.q.Agg {
-				case sqlstream.AggCount:
-					val = cs.Count
-				case sqlstream.AggAvg:
-					if cs.Count > 0 {
-						val = cs.Sum / cs.Count
-					}
-				}
+				val := finalizeCountSum(aq.q.Agg, cs.Count, cs.Sum)
 				a.router.Deliver(Result{
 					QueryID:   aq.q.ID,
 					Kind:      aq.q.Kind,
@@ -631,16 +748,28 @@ func (a *SharedAggregation) OnWatermark(wm event.Time, _ *spe.Emitter) {
 }
 
 // fireWindow combines slice partials for one window extent and emits one row
-// per (query, key). After warm-up it allocates only for new distinct keys:
-// cap groups, accumulators, and partials are all reused.
+// per (query, key). Triggers with enough queries to dedup or a slice run
+// long enough for the tree cover to pay fire through the shared engine;
+// small lone triggers (and fault-injected instances, which carry no tree)
+// take the direct per-slice scan. Both arms emit byte-identical streams
+// (TestMergeTreeFireAgreesWithScan), so the dispatch is a pure cost choice.
 func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, curEpoch uint64) {
-	slices := a.sl.overlapping(ext)
-	if len(slices) == 0 {
+	lo, hi := a.sl.overlappingRange(ext)
+	if lo == hi {
 		return
 	}
-	// Group queries by changelog-set cap (running queries mask to the
-	// current epoch; pending-deleted ones to the epoch before deletion).
-	// Caps per trigger are few: linear scan into the reused capTmp.
+	if a.tree != nil && (len(queries) >= a.shareMinQueries || hi-lo >= a.shareMinRun) {
+		a.fireWindowShared(ext, queries, curEpoch, lo, hi)
+		return
+	}
+	a.fireWindowScan(ext, queries, curEpoch, lo, hi)
+}
+
+// buildCapGroups groups a trigger's queries (by index) into capTmp by their
+// changelog-set cap: running queries mask to the current epoch,
+// pending-deleted ones to the epoch before deletion. Caps per trigger are
+// few: linear scan into the reused capTmp.
+func (a *SharedAggregation) buildCapGroups(queries []*aggQuery, curEpoch uint64) []*aggCapGroup {
 	groups := a.capTmp[:0]
 	for qi, aq := range queries {
 		capTo := curEpoch
@@ -658,23 +787,54 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 			if len(groups) < cap(groups) {
 				groups = groups[:len(groups)+1]
 				if groups[len(groups)-1] == nil {
+					//lint:ignore hotalloc cold: cap-group objects are recycled across triggers once allocated
 					groups[len(groups)-1] = &aggCapGroup{}
 				}
 			} else {
+				//lint:ignore hotalloc amortized: cap-group list grows to the trigger's distinct cap count once
 				groups = append(groups, &aggCapGroup{})
 			}
 			g = groups[len(groups)-1]
 			g.cap = capTo
 			g.idxs = g.idxs[:0]
 		}
+		//lint:ignore hotalloc amortized: cap-group index slices grow to the trigger's query count once
 		g.idxs = append(g.idxs, qi)
 	}
 	a.capTmp = groups
+	return groups
+}
+
+// emitAccum delivers one query's window rows from a sorted key list.
+func (a *SharedAggregation) emitAccum(aq *aggQuery, ext window.Extent, keys []int64, byKey map[int64]*aggVal) {
+	for _, key := range keys {
+		v := byKey[key]
+		atomic.AddUint64(&a.metrics.AggOut, 1)
+		a.router.Deliver(Result{
+			QueryID:     aq.q.ID,
+			Kind:        aq.q.Kind,
+			Window:      ext,
+			Key:         key,
+			Value:       v.finalize(aq.q.Agg, aq.q.AggField),
+			EventTime:   ext.End,
+			IngestNanos: v.IngestNanos,
+		})
+	}
+}
+
+// fireWindowScan is the per-slice re-merge arm: every query's accumulator
+// re-merges every overlapping slice's groups — O(slices × groups × keys)
+// per query. Kept as the fault-injection fallback and the ablation baseline.
+// After warm-up it allocates only for new distinct keys: cap groups,
+// accumulators, and partials are all reused.
+func (a *SharedAggregation) fireWindowScan(ext window.Extent, queries []*aggQuery, curEpoch uint64, lo, hi int) {
+	groups := a.buildCapGroups(queries, curEpoch)
 
 	// One accumulator per query, parallel to queries — which arrive in
 	// (slot, ID) order from activeOrdered, so emission below is ordered
-	// without sorting.
+	// without an accumulator sort.
 	for len(a.accums) < len(queries) {
+		//lint:ignore hotalloc cold: accumulators are recycled across triggers once allocated
 		a.accums = append(a.accums, &slotAccum{byKey: make(map[int64]*aggVal)})
 	}
 	accums := a.accums[:len(queries)]
@@ -683,7 +843,8 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 	}
 
 	tick := a.metrics.start()
-	for _, sl := range slices {
+	for si := lo; si < hi; si++ {
+		sl := a.sl.slices[si]
 		if sl.aggs == nil {
 			continue
 		}
@@ -714,7 +875,8 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 						if acc == nil {
 							acc = a.getVal()
 							sa.byKey[key] = acc
-							sa.keys = insertSortedInt64(sa.keys, key)
+							//lint:ignore hotalloc amortized: accumulator key slices grow to the window's key count once
+							sa.keys = append(sa.keys, key)
 						}
 						acc.merge(g.byKey[key])
 					}
@@ -723,27 +885,269 @@ func (a *SharedAggregation) fireWindow(ext window.Extent, queries []*aggQuery, c
 		}
 	}
 	a.metrics.BitsetOps.observe(tick, a.metrics)
-	// Emit in (slot, key) order, then release the accumulators.
+	// Emit in (slot, key) order — keys sort once per accumulator — then
+	// release the accumulators.
 	for _, sa := range accums {
-		aq := sa.aq
+		slices.Sort(sa.keys)
+		a.emitAccum(sa.aq, ext, sa.keys, sa.byKey)
 		for _, key := range sa.keys {
-			v := sa.byKey[key]
-			atomic.AddUint64(&a.metrics.AggOut, 1)
-			a.router.Deliver(Result{
-				QueryID:     aq.q.ID,
-				Kind:        aq.q.Kind,
-				Window:      ext,
-				Key:         key,
-				Value:       v.finalize(aq.q.Agg, aq.q.AggField),
-				EventTime:   ext.End,
-				IngestNanos: v.IngestNanos,
-			})
-			a.putVal(v)
+			a.putVal(sa.byKey[key])
 			delete(sa.byKey, key)
 		}
 		sa.keys = sa.keys[:0]
 		sa.aq = nil
 	}
+}
+
+// fireWindowShared is the shared window-fire engine (DESIGN.md §15). The
+// extent's slice run is covered by O(log n) merge-tree nodes whose partials
+// are memoized across fires; per cap group, node groups collapse into
+// effective-membership classes (one merge each, however many queries share
+// it); and queries with identical class fingerprints share one combined
+// accumulator, finalized per query at emission.
+func (a *SharedAggregation) fireWindowShared(ext window.Extent, queries []*aggQuery, curEpoch uint64, lo, hi int) {
+	t := a.tree
+	a.nodeTmp = t.cover(t.lo+lo, t.lo+hi-1, a.nodeTmp[:0])
+	groups := a.buildCapGroups(queries, curEpoch)
+
+	a.classTmp = a.classTmp[:0]
+	a.fpTmp = a.fpTmp[:0]
+	a.fpIdx = a.fpIdx[:0]
+	for range queries {
+		//lint:ignore hotalloc amortized: fingerprint index grows to the trigger's query count once
+		a.fpIdx = append(a.fpIdx, -1)
+	}
+
+	tick := a.metrics.start()
+	for _, cg := range groups {
+		if cg.cap < a.table.Base() {
+			continue
+		}
+		clo := len(a.classTmp)
+		// Classes only need the bits queries of this cap group test.
+		a.qmaskTmp.Reset()
+		for _, qi := range cg.idxs {
+			a.qmaskTmp.Set(queries[qi].slot)
+		}
+		for _, ni := range a.nodeTmp {
+			n := t.refresh(int(ni))
+			if !n.has {
+				continue
+			}
+			view, epoch := t.nodeView(int(ni))
+			rel, err := a.table.Rel(epoch, cg.cap)
+			if err != nil {
+				panic(fmt.Sprintf("core: agg rel: %v", err))
+			}
+			// Premask the epoch relation with the cap group's slot mask
+			// once per node; the group loop then ANDs a single mask.
+			rel.AndInto(a.qmaskTmp, &a.relqTmp)
+			if a.relqTmp.IsEmpty() {
+				continue
+			}
+			for _, g := range view {
+				g.qs.AndInto(a.relqTmp, &a.effTmp)
+				if a.effTmp.IsEmpty() {
+					continue
+				}
+				c := a.classFor(clo)
+				for _, key := range g.keys {
+					v := c.byKey[key]
+					if v == nil {
+						v = a.getVal()
+						c.byKey[key] = v
+						//lint:ignore hotalloc amortized: class key slices grow to the window's key count once
+						c.keys = append(c.keys, key)
+					}
+					v.merge(g.byKey[key])
+				}
+			}
+		}
+		chi := len(a.classTmp)
+		if chi == clo {
+			continue
+		}
+		// Fingerprint each query's class membership; identical
+		// fingerprints share one combined accumulator.
+		if chi-clo <= 64 {
+			for _, qi := range cg.idxs {
+				slot := queries[qi].slot
+				var m uint64
+				for ci := clo; ci < chi; ci++ {
+					if a.classTmp[ci].eff.Test(slot) {
+						m |= 1 << uint(ci-clo)
+					}
+				}
+				if m == 0 {
+					continue
+				}
+				fi := -1
+				for k, f := range a.fpTmp {
+					if f.mask == m && f.base == clo {
+						fi = k
+						break
+					}
+				}
+				if fi < 0 {
+					fi = a.newFP(m, clo)
+				}
+				a.fpIdx[qi] = int32(fi)
+			}
+		} else {
+			// Degenerate width (>64 classes under one cap): skip the
+			// dedup, one private accumulator per query.
+			for _, qi := range cg.idxs {
+				slot := queries[qi].slot
+				fi := -1
+				for ci := clo; ci < chi; ci++ {
+					if !a.classTmp[ci].eff.Test(slot) {
+						continue
+					}
+					if fi < 0 {
+						fi = len(a.fpTmp)
+						a.acquireFP(0, clo)
+					}
+					a.mergeClassIntoFP(a.fpTmp[fi], a.classTmp[ci])
+				}
+				if fi >= 0 {
+					a.fpIdx[qi] = int32(fi)
+				}
+			}
+		}
+	}
+	a.metrics.BitsetOps.observe(tick, a.metrics)
+
+	// Sort every emitting key list once (scan-arm order contract), emit in
+	// query order, then drain classes and fingerprints back to the pools.
+	for _, c := range a.classTmp {
+		slices.Sort(c.keys)
+	}
+	for _, f := range a.fpTmp {
+		if f.cls == nil {
+			slices.Sort(f.keys)
+		}
+	}
+	for qi, aq := range queries {
+		fi := a.fpIdx[qi]
+		if fi < 0 {
+			continue
+		}
+		f := a.fpTmp[fi]
+		if f.cls != nil {
+			a.emitAccum(aq, ext, f.cls.keys, f.cls.byKey)
+		} else {
+			a.emitAccum(aq, ext, f.keys, f.byKey)
+		}
+	}
+	for _, c := range a.classTmp {
+		for _, key := range c.keys {
+			a.putVal(c.byKey[key])
+			delete(c.byKey, key)
+		}
+		c.keys = c.keys[:0]
+	}
+	for _, f := range a.fpTmp {
+		if f.cls == nil {
+			for _, key := range f.keys {
+				a.putVal(f.byKey[key])
+				delete(f.byKey, key)
+			}
+			f.keys = f.keys[:0]
+		}
+		f.cls = nil
+	}
+}
+
+// classFor returns the class in classTmp[from:] whose membership equals
+// effTmp, appending (from recycled storage) when new.
+func (a *SharedAggregation) classFor(from int) *fireClass {
+	for _, c := range a.classTmp[from:] {
+		if c.eff.Equal(a.effTmp) {
+			return c
+		}
+	}
+	if n := len(a.classTmp); n < cap(a.classTmp) {
+		a.classTmp = a.classTmp[:n+1]
+	} else {
+		//lint:ignore hotalloc amortized: class list grows to the trigger's class count once
+		a.classTmp = append(a.classTmp, nil)
+	}
+	c := a.classTmp[len(a.classTmp)-1]
+	if c == nil {
+		//lint:ignore hotalloc cold: class objects are recycled across fires once allocated
+		c = &fireClass{byKey: make(map[int64]*aggVal)}
+		a.classTmp[len(a.classTmp)-1] = c
+	}
+	c.eff.CopyFrom(a.effTmp)
+	return c
+}
+
+// acquireFP appends a fingerprint accumulator from recycled storage.
+func (a *SharedAggregation) acquireFP(m uint64, base int) *fireFP {
+	if n := len(a.fpTmp); n < cap(a.fpTmp) {
+		a.fpTmp = a.fpTmp[:n+1]
+	} else {
+		//lint:ignore hotalloc amortized: fingerprint list grows to the trigger's fingerprint count once
+		a.fpTmp = append(a.fpTmp, nil)
+	}
+	f := a.fpTmp[len(a.fpTmp)-1]
+	if f == nil {
+		//lint:ignore hotalloc cold: fingerprint objects are recycled across fires once allocated
+		f = &fireFP{byKey: make(map[int64]*aggVal)}
+		a.fpTmp[len(a.fpTmp)-1] = f
+	}
+	f.mask, f.base, f.cls = m, base, nil
+	f.keys = f.keys[:0]
+	return f
+}
+
+// newFP materializes the accumulator for fingerprint m over the class range
+// starting at base: a single-class fingerprint aliases that class, wider
+// ones merge their classes once for every query that shares them.
+func (a *SharedAggregation) newFP(m uint64, base int) int {
+	f := a.acquireFP(m, base)
+	if m&(m-1) == 0 {
+		f.cls = a.classTmp[base+bits.TrailingZeros64(m)]
+		return len(a.fpTmp) - 1
+	}
+	for b := m; b != 0; b &= b - 1 {
+		a.mergeClassIntoFP(f, a.classTmp[base+bits.TrailingZeros64(b)])
+	}
+	return len(a.fpTmp) - 1
+}
+
+// mergeClassIntoFP merges one class accumulator into a fingerprint's.
+func (a *SharedAggregation) mergeClassIntoFP(f *fireFP, c *fireClass) {
+	for _, key := range c.keys {
+		v := f.byKey[key]
+		if v == nil {
+			v = a.getVal()
+			f.byKey[key] = v
+			//lint:ignore hotalloc amortized: fingerprint key slices grow to the window's key count once
+			f.keys = append(f.keys, key)
+		}
+		v.merge(c.byKey[key])
+	}
+}
+
+// fireBench drives one window fire for the benchmark harness: tree sync plus
+// the fire itself, without OnWatermark's harvest/purge/evict bookkeeping, so
+// per-op cost is the fire engine. Fires all registered time-window queries.
+//
+//lint:hotpath shared window-fire kernel steady state
+func (a *SharedAggregation) fireBench(ext window.Extent) {
+	a.trigTmp = a.trigTmp[:0]
+	tr := a.triggerFor(ext)
+	for _, aq := range a.activeOrdered {
+		if aq.spec().IsTimeBased() && ext.End <= aq.until {
+			//lint:ignore hotalloc amortized: trigger query list grows to the active query count once
+			tr.queries = append(tr.queries, aq)
+		}
+	}
+	if a.tree != nil {
+		a.tree.sync()
+	}
+	a.fireWindow(ext, tr.queries, a.table.Latest())
 }
 
 // ActiveQueries reports registered aggregation queries (tests/metrics).

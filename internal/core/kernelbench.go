@@ -132,6 +132,34 @@ func KernelBenchmarks() []KernelBench {
 			},
 		},
 		{
+			// The shared window-fire engine (DESIGN.md §15) at the sliding
+			// regime the merge tree exists for: 64 SUM queries over an
+			// 800/100 sliding window (slide ratio 8), fired once per
+			// iteration after folding one fresh tuple. The scan arm would
+			// re-merge all 8 slices per query; the tree path re-merges the
+			// one dirtied root path, covers the extent in O(log n) nodes,
+			// and collapses all 64 queries into one combine class.
+			Name: "windowfire-64q-slide8",
+			New: func() func(int) {
+				agg := benchAggWindow(64, window.SlidingSpec(800, 100))
+				qs := bitset.AllUpTo(64)
+				em := &spe.Emitter{}
+				for i := 0; i < 512; i++ {
+					agg.OnTuple(0, benchTuple(i, qs, event.Time(i%800)), em)
+				}
+				ext := window.Extent{Start: 0, End: 800}
+				// Warm the tree, classes, and accumulator pools once.
+				agg.fireBench(ext)
+				//lint:hotpath window-fire kernel steady state
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						agg.OnTuple(0, benchTuple(i, qs, 799), em)
+						agg.fireBench(ext)
+					}
+				}
+			},
+		},
+		{
 			// The fused sel→agg chain exactly as Deploy wires it for
 			// single-stream engines: selection stamps the query set, the
 			// chained emitter direct-calls the aggregation — no channel, no
@@ -222,6 +250,12 @@ func overlapEntries(n int) []selEntry {
 // benchAgg builds a SharedAggregation with slots tumbling-window SUM queries
 // registered through a real changelog, ready for steady-state OnTuple calls.
 func benchAgg(slots int) *SharedAggregation {
+	return benchAggWindow(slots, window.TumblingSpec(100))
+}
+
+// benchAggWindow builds a SharedAggregation with slots SUM queries over spec,
+// registered through a real changelog.
+func benchAggWindow(slots int, spec window.Spec) *SharedAggregation {
 	router := NewRouter(NewOpMetrics(nil))
 	agg := NewSharedAggregation(1, 0, router, NewOpMetrics(nil))
 	reg := changelog.NewRegistry(changelog.SlotReuse)
@@ -233,7 +267,7 @@ func benchAgg(slots int) *SharedAggregation {
 			Kind:       KindAggregation,
 			Arity:      1,
 			Predicates: []expr.Predicate{expr.True()},
-			Window:     window.TumblingSpec(100),
+			Window:     spec,
 			Agg:        sqlstream.AggSum,
 			AggField:   0,
 		}

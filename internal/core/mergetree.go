@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+
+	"astream/internal/bitset"
+)
+
+// mergeTree is the shared window-fire structure (DESIGN.md §15): a
+// FlatFAT-style balanced binary tree of partial aggregates over the live
+// slice list, so combining the slices of one window extent costs O(log n)
+// node reads instead of an O(n) slice walk, and interior partials are shared
+// by every query and every trigger that covers the same slice run.
+//
+// Layout is a 1-indexed heap over a power-of-two leaf array: node i has
+// children 2i and 2i+1, leaves occupy [cap, 2·cap). Leaf position p holds
+// owner.sl.slices[p-lo]; lo advances as slices evict from the front, so
+// steady-state eviction is pointer bookkeeping, not a rebuild. When the live
+// list stops being an append/evict suffix of the leaves (a late tuple opened
+// a slice mid-list) or appends run past cap, the tree re-anchors from
+// scratch — correctness never depends on the incremental path.
+//
+// Epoch masking: an interior node stores its subtree's groups masked to
+// Rel(slice.epoch, E) where E is the max live slice epoch in its span.
+// Because Rel is an AND-chain over changelog steps, Rel(s, cap) factors as
+// Rel(s, E) & Rel(E, cap) for s ≤ E ≤ cap, so the fire path applies the
+// remaining Rel(E, cap) once per node — groups whose masked query-sets
+// coincide have merged already, which is exactly "tree nodes per
+// (group, epoch-cap) only where caps actually differ".
+//
+// Everything here is derived from the slice ring and the changelog table:
+// the tree is never snapshotted and rebuilds lazily after Restore.
+type mergeTree struct {
+	owner *SharedAggregation
+	cap   int // leaf capacity, power of two; 0 until first anchor
+	// nodes is the heap; index 0 is unused. Leaf node cap+p mirrors
+	// leaves[p]; interior nodes own a groups payload.
+	nodes  []mergeNode
+	leaves []*slice // len cap; nil outside [lo, lo+n)
+	folds  []uint64 // fold counter seen at last sync, parallel to leaves
+	lo     int      // first live leaf position
+	n      int      // live leaf count
+	// pool recycles interior-node group payloads (their aggVals recycle
+	// through the owner's freelist).
+	pool []*aggGroup
+	// mask is the node-build scratch bitset (fire paths use owner scratch).
+	mask bitset.Bits
+}
+
+// mergeNode is one tree node. Leaves read has/epoch straight from their
+// slice at refresh; interior nodes additionally maintain the merged payload.
+type mergeNode struct {
+	epoch  uint64 // max live leaf epoch in span (valid when has)
+	has    bool   // span contains at least one slice with data
+	dirty  bool   // payload/metadata stale; refresh before reading
+	groups *qsIndex[aggGroup]
+}
+
+// sync aligns the tree with the owner's live slice list. Called once per
+// fire batch (watermark or bench), before any refresh/cover.
+//
+// Reachable from the window-fire kernel root; steady state allocates
+// nothing — eviction and fold-count dirtying touch counters only, and
+// re-anchoring reuses node payloads at unchanged capacity.
+func (t *mergeTree) sync() {
+	live := t.owner.sl.slices
+	if t.cap == 0 {
+		t.reset(live)
+		return
+	}
+	// Front eviction: leaves before live[0]'s position are gone.
+	end := t.lo + t.n
+	j := end
+	if len(live) > 0 {
+		j = t.lo
+		for j < end && t.leaves[j] != live[0] {
+			j++
+		}
+	}
+	for p := t.lo; p < j; p++ {
+		t.leaves[p] = nil
+		t.folds[p] = 0
+		t.nodes[t.cap+p].has = false
+		t.markDirty(p)
+	}
+	t.n -= j - t.lo
+	t.lo = j
+	// Surviving prefix must match pointer-for-pointer; mid-list slice
+	// insertion (late gap fill) breaks the append-only layout.
+	m := 0
+	for ; m < t.n; m++ {
+		if t.leaves[t.lo+m] != live[m] {
+			t.reset(live)
+			return
+		}
+	}
+	if t.lo+len(live) > t.cap {
+		t.reset(live)
+		return
+	}
+	for ; m < len(live); m++ {
+		p := t.lo + m
+		t.leaves[p] = live[m]
+		t.folds[p] = live[m].folds
+		t.markDirty(p)
+	}
+	t.n = len(live)
+	// Fold-counter scan: slices that absorbed tuples since the last sync
+	// dirty their root path.
+	for p := t.lo; p < t.lo+t.n; p++ {
+		if f := t.leaves[p].folds; f != t.folds[p] {
+			t.folds[p] = f
+			t.markDirty(p)
+		}
+	}
+}
+
+// reset re-anchors the tree on the current live list. Capacity doubles the
+// live count (headroom for appends before the next re-anchor), minimum 8.
+func (t *mergeTree) reset(live []*slice) {
+	need := 2 * len(live)
+	if need < 8 {
+		need = 8
+	}
+	c := 1
+	for c < need {
+		c <<= 1
+	}
+	if c != t.cap {
+		t.cap = c
+		//lint:ignore hotalloc cold: tree arrays reallocate only when live slice count crosses a power of two
+		t.nodes = make([]mergeNode, 2*c)
+		//lint:ignore hotalloc cold: tree arrays reallocate only when live slice count crosses a power of two
+		t.leaves = make([]*slice, c)
+		//lint:ignore hotalloc cold: tree arrays reallocate only when live slice count crosses a power of two
+		t.folds = make([]uint64, c)
+	} else {
+		for i := 1; i < len(t.nodes); i++ {
+			t.clearNode(&t.nodes[i])
+			t.nodes[i].has = false
+		}
+		for i := range t.leaves {
+			t.leaves[i] = nil
+			t.folds[i] = 0
+		}
+	}
+	t.lo = 0
+	t.n = len(live)
+	for i, sl := range live {
+		t.leaves[i] = sl
+		t.folds[i] = sl.folds
+	}
+	for i := 1; i < len(t.nodes); i++ {
+		t.nodes[i].dirty = true
+	}
+}
+
+// markDirty dirties leaf position pos and its root path. Invariant: a dirty
+// node's ancestors are dirty, so the walk stops at the first dirty node.
+func (t *mergeTree) markDirty(pos int) {
+	for i := t.cap + pos; i >= 1; i >>= 1 {
+		if t.nodes[i].dirty {
+			return
+		}
+		t.nodes[i].dirty = true
+	}
+}
+
+// refresh brings node i (and any dirty descendants) up to date and returns
+// it. Clean subtrees are skipped wholesale — that is the shared-run reuse:
+// once a slice run's interior partial is built, every later trigger covering
+// the run reads it for free.
+func (t *mergeTree) refresh(i int) *mergeNode {
+	n := &t.nodes[i]
+	if !n.dirty {
+		return n
+	}
+	n.dirty = false
+	if i >= t.cap {
+		sl := t.leaves[i-t.cap]
+		if sl == nil || sl.aggs == nil || sl.aggs.len() == 0 {
+			n.has = false
+			return n
+		}
+		n.has = true
+		n.epoch = sl.epoch
+		return n
+	}
+	l := t.refresh(2 * i)
+	r := t.refresh(2*i + 1)
+	t.clearNode(n)
+	n.has = l.has || r.has
+	if !n.has {
+		return n
+	}
+	n.epoch = 0
+	if l.has {
+		n.epoch = l.epoch
+	}
+	if r.has && r.epoch > n.epoch {
+		n.epoch = r.epoch
+	}
+	if n.groups == nil {
+		n.groups = newQSIndex[aggGroup]()
+	}
+	if l.has {
+		t.foldChild(n, 2*i)
+	}
+	if r.has {
+		t.foldChild(n, 2*i+1)
+	}
+	return n
+}
+
+// foldChild merges child ci's groups into n, masking each group's query-set
+// to Rel(child epoch, n.epoch) — the factored-out left half of the eventual
+// Rel(slice epoch, cap) the fire path completes.
+func (t *mergeTree) foldChild(n *mergeNode, ci int) {
+	groups, cepoch := t.nodeView(ci)
+	rel, err := t.owner.table.Rel(cepoch, n.epoch)
+	if err != nil {
+		panic(fmt.Sprintf("core: merge tree rel: %v", err))
+	}
+	for _, g := range groups {
+		g.qs.AndInto(rel, &t.mask)
+		if t.mask.IsEmpty() {
+			continue
+		}
+		ng := n.groups.get(t.mask)
+		if ng == nil {
+			ng = t.getGroup()
+			ng.qs.CopyFrom(t.mask)
+			n.groups.put(ng.qs, ng)
+		}
+		for _, key := range g.keys {
+			v := ng.byKey[key]
+			if v == nil {
+				v = t.owner.getVal()
+				ng.byKey[key] = v
+				//lint:ignore hotalloc amortized: node key slices grow to the span's key count once, then recycle
+				ng.keys = append(ng.keys, key)
+			}
+			v.merge(g.byKey[key])
+		}
+	}
+}
+
+// nodeView returns the group list and epoch the fire/build paths read from a
+// refreshed node: leaves serve their slice's index directly (no copy layer),
+// interior nodes their merged payload. Caller checks has first.
+func (t *mergeTree) nodeView(i int) ([]*aggGroup, uint64) {
+	if i >= t.cap {
+		sl := t.leaves[i-t.cap]
+		return sl.aggs.order, sl.epoch
+	}
+	n := &t.nodes[i]
+	return n.groups.order, n.epoch
+}
+
+// clearNode drains an interior node's payload: aggVals back to the owner's
+// freelist, group objects to the tree pool, the index emptied in place.
+func (t *mergeTree) clearNode(n *mergeNode) {
+	if n.groups == nil || n.groups.len() == 0 {
+		return
+	}
+	for _, g := range n.groups.order {
+		for _, key := range g.keys {
+			t.owner.putVal(g.byKey[key])
+			delete(g.byKey, key)
+		}
+		g.keys = g.keys[:0]
+		//lint:ignore hotalloc amortized: group pool grows to the tree's peak group count once
+		t.pool = append(t.pool, g)
+	}
+	n.groups.clear()
+}
+
+// getGroup pops a pooled group payload or allocates one.
+func (t *mergeTree) getGroup() *aggGroup {
+	if n := len(t.pool); n > 0 {
+		g := t.pool[n-1]
+		t.pool = t.pool[:n-1]
+		return g
+	}
+	//lint:ignore hotalloc cold: runs once per concurrently-live node group; steady state reuses pooled groups
+	return &aggGroup{byKey: make(map[int64]*aggVal)}
+}
+
+// cover appends the canonical O(log n) node decomposition of leaf positions
+// [from, to] to out: the standard iterative segment-tree walk, visiting each
+// maximal aligned block exactly once. Node order is not left-to-right, which
+// is fine — merges are commutative and emission order comes from sorted
+// accumulator keys, not visit order.
+func (t *mergeTree) cover(from, to int, out []int32) []int32 {
+	l := t.cap + from
+	r := t.cap + to + 1
+	for l < r {
+		if l&1 == 1 {
+			//lint:ignore hotalloc amortized: cover scratch grows to O(log n) entries once
+			out = append(out, int32(l))
+			l++
+		}
+		if r&1 == 1 {
+			r--
+			//lint:ignore hotalloc amortized: cover scratch grows to O(log n) entries once
+			out = append(out, int32(r))
+		}
+		l >>= 1
+		r >>= 1
+	}
+	return out
+}

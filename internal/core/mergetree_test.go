@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"astream/internal/bitset"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/spe"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// These tests pin the shared window-fire engine's one contract (DESIGN.md
+// §15): for every changelog history, slice population, and watermark
+// schedule, the merge-tree path emits a stream byte-identical to the
+// per-slice re-merge arm — same rows, same values (including IngestNanos,
+// which exercises the max-merge), same order — across churn, lateness,
+// pending-delete caps, and snapshot round-trips.
+
+// fireRouter registers a formatting sink covering query IDs 1..maxID; unlike
+// captureRouter it includes IngestNanos so value identity is byte-complete.
+func fireRouter(out *[]string, maxID int) *Router {
+	r := NewRouter(&OpMetrics{})
+	for id := 1; id <= maxID; id++ {
+		r.Register(id, SinkFunc(func(res Result) {
+			*out = append(*out, fmt.Sprintf("q%d %v w=[%v,%v) key=%d val=%d et=%v in=%d",
+				res.QueryID, res.Kind, res.Window.Start, res.Window.End,
+				res.Key, res.Value, res.EventTime, res.IngestNanos))
+		}))
+	}
+	return r
+}
+
+// randAggQuery draws aggregation queries across every window shape and
+// aggregate function the fire path serves; a few sessions ride along to
+// prove the harvest path stays untouched by the engine swap.
+func randAggQuery(r *rand.Rand) *Query {
+	var spec window.Spec
+	switch r.Intn(5) {
+	case 0:
+		spec = window.TumblingSpec(event.Time(20 + r.Intn(180)))
+	case 4:
+		spec = window.SessionSpec(event.Time(10 + r.Intn(50)))
+	default:
+		length := event.Time(40 + r.Intn(160))
+		slide := event.Time(10 + r.Intn(int(length)))
+		spec = window.SlidingSpec(length, slide)
+	}
+	fns := []sqlstream.AggFunc{
+		sqlstream.AggCount, sqlstream.AggSum, sqlstream.AggAvg,
+		sqlstream.AggMin, sqlstream.AggMax,
+	}
+	return &Query{
+		Kind:       KindAggregation,
+		Arity:      1,
+		Predicates: []expr.Predicate{expr.True()},
+		Window:     spec,
+		Agg:        fns[r.Intn(len(fns))],
+		AggField:   r.Intn(event.NumFields),
+	}
+}
+
+func randAggTuple(r *rand.Rand, at event.Time, i int) event.Tuple {
+	lo := at - 300
+	if lo < 0 {
+		lo = 0
+	}
+	t := event.Tuple{
+		Key:         int64(r.Intn(12)),
+		Time:        lo + event.Time(r.Intn(int(at-lo)+150)),
+		IngestNanos: int64(i + 1),
+	}
+	var qs bitset.Bits
+	for k := 0; k <= r.Intn(4); k++ {
+		qs.Set(r.Intn(24))
+	}
+	t.QuerySet = qs
+	for f := range t.Fields {
+		t.Fields[f] = int64(r.Intn(40)) - 20
+	}
+	return t
+}
+
+// TestMergeTreeFireAgreesWithScan co-drives a tree-fired instance and a
+// scan-forced instance through identical changelog/tuple/watermark sequences
+// — deploy/delete churn, late and out-of-order tuples, pending-delete caps —
+// and requires byte-identical emission streams at every watermark.
+func TestMergeTreeFireAgreesWithScan(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			r := rand.New(rand.NewSource(seed))
+
+			var treeOut, scanOut []string
+			tree := NewSharedAggregation(1, 50, fireRouter(&treeOut, 256), NewOpMetrics(nil))
+			scan := NewSharedAggregation(1, 50, fireRouter(&scanOut, 256), NewOpMetrics(nil))
+			// Pin the dispatch: every trigger on the tree instance must take
+			// the shared arm (the adaptive thresholds would route small
+			// random triggers to the scan on both sides, proving nothing).
+			tree.shareMinQueries, tree.shareMinRun = 1, 1
+			scan.disableMergeTree()
+			if tree.tree == nil || scan.tree != nil {
+				t.Fatal("arms not configured: tree instance must carry a merge tree, scan must not")
+			}
+
+			b := newCLBuilder()
+			var active []int
+			em := &spe.Emitter{}
+			wm := event.MinTime
+			emitted := false
+
+			for step := 0; step < 40; step++ {
+				at := event.Time(step * 100)
+				if len(active) > 4 && r.Intn(100) < 30 {
+					ndel := 1 + r.Intn(3)
+					r.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+					msg := b.remove(t, at, active[:ndel]...)
+					active = active[ndel:]
+					tree.OnChangelog(msg, at, nil)
+					scan.OnChangelog(msg, at, nil)
+				} else {
+					nq := 1 + r.Intn(4)
+					qs := make([]*Query, nq)
+					for i := range qs {
+						qs[i] = randAggQuery(r)
+					}
+					msg := b.create(t, at, qs...)
+					for _, q := range qs {
+						active = append(active, q.ID)
+					}
+					tree.OnChangelog(msg, at, nil)
+					scan.OnChangelog(msg, at, nil)
+				}
+
+				for i := 0; i < 60; i++ {
+					tu := randAggTuple(r, at, step*60+i)
+					tree.OnTuple(0, tu, em)
+					scan.OnTuple(0, tu, em)
+				}
+
+				if r.Intn(100) < 70 {
+					next := at - event.Time(r.Intn(200))
+					if next > wm {
+						wm = next
+						tree.OnWatermark(wm, nil)
+						scan.OnWatermark(wm, nil)
+						assertSameStrings(t, fmt.Sprintf("step %d wm=%v", step, wm), treeOut, scanOut)
+						if len(treeOut) > 0 {
+							emitted = true
+						}
+						treeOut, scanOut = treeOut[:0], scanOut[:0]
+					}
+				}
+			}
+			if !emitted {
+				t.Fatal("workload fired no windows; the test proved nothing")
+			}
+			if tree.tree == nil || tree.tree.cap == 0 {
+				t.Fatal("merge tree never anchored; the shared path did not run")
+			}
+		})
+	}
+}
+
+// TestMergeTreeSurvivesSnapshotRestore: the tree is derived state — cutting
+// a snapshot mid-churn and restoring it into fresh instances (one tree-fired,
+// one scan-forced) must leave all three emission streams byte-identical on
+// the continued workload, proving the rebuilt tree serves exactly the
+// restored slice ring.
+func TestMergeTreeSurvivesSnapshotRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+
+	var origOut []string
+	orig := NewSharedAggregation(1, 50, fireRouter(&origOut, 256), NewOpMetrics(nil))
+	orig.shareMinQueries, orig.shareMinRun = 1, 1
+
+	b := newCLBuilder()
+	var active []int
+	em := &spe.Emitter{}
+	wm := event.MinTime
+
+	drive := func(insts []*SharedAggregation, step int) {
+		at := event.Time(step * 100)
+		if len(active) > 4 && r.Intn(100) < 30 {
+			ndel := 1 + r.Intn(3)
+			r.Shuffle(len(active), func(i, j int) { active[i], active[j] = active[j], active[i] })
+			msg := b.remove(t, at, active[:ndel]...)
+			active = active[ndel:]
+			for _, in := range insts {
+				in.OnChangelog(msg, at, nil)
+			}
+		} else {
+			qs := make([]*Query, 1+r.Intn(4))
+			for i := range qs {
+				qs[i] = randAggQuery(r)
+			}
+			msg := b.create(t, at, qs...)
+			for _, q := range qs {
+				active = append(active, q.ID)
+			}
+			for _, in := range insts {
+				in.OnChangelog(msg, at, nil)
+			}
+		}
+		for i := 0; i < 60; i++ {
+			tu := randAggTuple(r, at, step*60+i)
+			for _, in := range insts {
+				in.OnTuple(0, tu, em)
+			}
+		}
+		if next := at - event.Time(r.Intn(150)); next > wm {
+			wm = next
+			for _, in := range insts {
+				in.OnWatermark(wm, nil)
+			}
+		}
+	}
+
+	for step := 0; step < 15; step++ {
+		drive([]*SharedAggregation{orig}, step)
+	}
+
+	snap := orig.OnBarrier(1, nil)
+	var treeOut, scanOut []string
+	restTree := NewSharedAggregation(1, 50, fireRouter(&treeOut, 256), NewOpMetrics(nil))
+	restTree.shareMinQueries, restTree.shareMinRun = 1, 1
+	if err := restTree.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	restScan := NewSharedAggregation(1, 50, fireRouter(&scanOut, 256), NewOpMetrics(nil))
+	restScan.disableMergeTree()
+	if err := restScan.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if restTree.tree == nil || restScan.tree != nil {
+		t.Fatal("restore lost the arm configuration")
+	}
+
+	origOut = origOut[:0]
+	for step := 15; step < 30; step++ {
+		drive([]*SharedAggregation{orig, restTree, restScan}, step)
+		assertSameStrings(t, fmt.Sprintf("step %d tree-vs-orig", step), treeOut, origOut)
+		assertSameStrings(t, fmt.Sprintf("step %d scan-vs-orig", step), scanOut, origOut)
+		origOut, treeOut, scanOut = origOut[:0], treeOut[:0], scanOut[:0]
+	}
+	if restTree.tree.cap == 0 {
+		t.Fatal("restored merge tree never anchored")
+	}
+}

@@ -37,6 +37,12 @@ type slice struct {
 	// Payloads: a join side uses store; the aggregation uses aggs.
 	store *sliceStore
 	aggs  *qsIndex[aggGroup] // by canonical query-set key
+	// folds counts aggregation folds absorbed by this slice; the merge
+	// tree compares it against its last-synced value to detect stale
+	// partials without hashing payloads. Derived activity counter: it is
+	// not snapshotted and restarts at zero after Restore, which is exactly
+	// when the tree re-anchors anyway.
+	folds uint64
 }
 
 func newSlicer() *slicer {
@@ -151,6 +157,19 @@ func (s *slicer) overlapping(ext window.Extent) []*slice {
 		out = append(out, s.slices[i])
 	}
 	return out
+}
+
+// overlappingRange returns the index range [lo, hi) of live slices
+// overlapping [ext.Start, ext.End). Unlike overlapping it allocates nothing,
+// which the window-fire paths rely on.
+func (s *slicer) overlappingRange(ext window.Extent) (int, int) {
+	//lint:ignore hotalloc sort.Search does not retain its predicate; the closure is stack-allocated
+	lo := sort.Search(len(s.slices), func(i int) bool { return s.slices[i].ext.End > ext.Start })
+	hi := lo
+	for hi < len(s.slices) && s.slices[hi].ext.Start < ext.End {
+		hi++
+	}
+	return lo, hi
 }
 
 // evict removes slices whose retention horizon (computed by retain) is ≤ wm,

@@ -759,5 +759,8 @@ func (a *SharedAggregation) Restore(snapshot []byte) error {
 	if len(a.maskVersions) == 0 {
 		a.maskVersions = []maskVersion{{from: event.MinTime, portMasks: make([]bitset.Bits, a.ports)}}
 	}
+	// The merge tree is derived from the slice ring; a fresh instance
+	// re-anchors on the next fire batch.
+	a.rebuildMergeTree()
 	return nil
 }

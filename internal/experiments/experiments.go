@@ -114,6 +114,12 @@ type Params struct {
 	// ClosedLoop forces maximum-rate closed-loop generation.
 	OfferedRate float64
 	ClosedLoop  bool
+	// WindowLen/WindowSlide, when > 0, pin every generated time window to
+	// exactly this length/slide (event-time ms) instead of the random draw —
+	// the slide-ratio sweep (FigSlideSweep) controls the window/slide ratio
+	// with these.
+	WindowLen   int64
+	WindowSlide int64
 }
 
 func (p *Params) setDefaults() {
@@ -241,6 +247,8 @@ func queryGen(p Params) *gen.Queries {
 		// Join windows are quadratic in window volume; keep them shorter.
 		cfg.WindowMax = 800
 	}
+	cfg.FixedLength = p.WindowLen
+	cfg.FixedSlide = p.WindowSlide
 	return gen.NewQueries(cfg, p.Seed)
 }
 

@@ -84,6 +84,25 @@ func Fig9QuerySweep(sc Scale, nodes int, counts []int) []Measurement {
 	return out
 }
 
+// FigSlideSweep measures aggregation throughput against the window/slide
+// ratio (how many slices one window extent spans) at a fixed SC1 churn point.
+// Every query gets the same pinned window — length = ratio × 25 ms, slide =
+// 25 ms — so the ratio axis isolates the shared window-fire engine
+// (DESIGN.md §15): the per-slice re-merge arm degrades linearly in the ratio
+// while the merge tree's cover stays O(log ratio).
+func FigSlideSweep(sc Scale, nodes int, ratios []int) []Measurement {
+	const slide = 25 // event-time ms
+	var out []Measurement
+	for _, ratio := range ratios {
+		p := Params{
+			Scenario: "SC1", QueriesPerSec: 10, MaxParallelQ: 60,
+			WindowLen: int64(ratio) * slide, WindowSlide: slide,
+		}
+		out = append(out, Run(apply(p, AggK, AStream, nodes, sc, 9)))
+	}
+	return out
+}
+
 // DeployPoint is one query's deployment latency in arrival order (Figure 10).
 type DeployPoint struct {
 	Ordinal int

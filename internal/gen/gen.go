@@ -72,6 +72,13 @@ type QueryConfig struct {
 	// MinSelectivity floors each predicate's estimated selectivity so
 	// generated queries produce observable output.
 	MinSelectivity float64
+	// FixedLength, when > 0, pins every time-window length to exactly this
+	// value instead of drawing it — the slide-ratio sweep uses it to control
+	// how many slices one window spans. FixedSlide (when > 0 and less than
+	// FixedLength) likewise pins the slide; equal or unset values produce
+	// tumbling windows.
+	FixedLength int64
+	FixedSlide  int64
 }
 
 // DefaultQueryConfig matches the paper's templates on a laptop-scale window
@@ -119,6 +126,14 @@ func (g *Queries) Predicate() expr.Predicate {
 // length)" per §4.2.3. tumblingOnly forces slide == length (multi-stage
 // queries require it).
 func (g *Queries) windowSpec(tumblingOnly bool) window.Spec {
+	if g.cfg.FixedLength > 0 {
+		length := event.Time(g.cfg.FixedLength)
+		slide := event.Time(g.cfg.FixedSlide)
+		if tumblingOnly || slide <= 0 || slide >= length {
+			return window.TumblingSpec(length)
+		}
+		return window.SlidingSpec(length, slide)
+	}
 	span := g.cfg.WindowMax - g.cfg.WindowMin + 1
 	length := event.Time(g.cfg.WindowMin + g.rng.Int63n(span))
 	if tumblingOnly {
