@@ -7,7 +7,7 @@
 //
 // Usage:
 //
-//	astream-vet [-list] [-run name,name] [-format text|json]
+//	astream-vet [-list] [-run name,name] [-format text|json] [-timing]
 //	            [-baseline file] [-write-baseline file] [packages]
 //
 // Package arguments filter by import-path suffix; "./..." (or no
@@ -21,8 +21,9 @@
 // -baseline subtracts a committed findings file so CI fails only on new
 // findings (matched by analyzer+file+message, line-insensitive);
 // -write-baseline records the current findings as that file (suppressions
-// excluded — they are not regressions). Exit status is 1 when any
-// non-baselined diagnostic survives //lint:ignore suppression.
+// excluded — they are not regressions). -timing prints each analyzer's
+// wall-clock cost to stderr. Exit status is 1 when any non-baselined
+// diagnostic survives //lint:ignore suppression.
 package main
 
 import (
@@ -42,6 +43,7 @@ func main() {
 	format := flag.String("format", "text", "output format: text or json")
 	baseline := flag.String("baseline", "", "baseline findings file to subtract (fail only on new findings)")
 	writeBaseline := flag.String("write-baseline", "", "write current findings to this baseline file and exit")
+	timing := flag.Bool("timing", false, "print per-analyzer wall-clock timings to stderr")
 	flag.Parse()
 
 	if *format != "text" && *format != "json" {
@@ -100,7 +102,12 @@ func main() {
 		}
 	}
 
-	diags, suppressed := lint.RunAll(pkgs, analyzers)
+	diags, suppressed, timings := lint.RunAllTimed(pkgs, analyzers)
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "astream-vet: %-14s %8.1fms\n", tm.Name, float64(tm.Elapsed.Microseconds())/1000)
+		}
+	}
 	report := lint.NewReport(root, diags)
 
 	if *writeBaseline != "" {

@@ -201,19 +201,19 @@ type SharedAggregation struct {
 	// intersection temporaries, the trigger and cap grouping, per-trigger
 	// accumulators, and the aggVal freelist.
 	//lint:ephemeral per-tuple scratch
-	qsTmp bitset.Bits
+	qsTmp bitset.Bits //lint:pooled scratch per-tuple query-set intersection scratch
 	//lint:ephemeral per-trigger scratch
-	effTmp bitset.Bits
+	effTmp bitset.Bits //lint:pooled scratch per-trigger effective-query scratch
 	//lint:ephemeral per-trigger scratch
-	trigTmp []*aggTrigger
+	trigTmp []*aggTrigger //lint:pooled scratch per-trigger grouping scratch
 	//lint:ephemeral per-trigger scratch
-	capTmp []*aggCapGroup
+	capTmp []*aggCapGroup //lint:pooled scratch per-trigger cap-grouping scratch
 	//lint:ephemeral per-trigger scratch
-	accums []*slotAccum
+	accums []*slotAccum //lint:pooled scratch per-trigger accumulator scratch
 	//lint:ephemeral freelist, refills through steady-state recycling
-	valPool []*aggVal
+	valPool []*aggVal //lint:pooled freelist recycled aggVal backings
 	//lint:ephemeral per-trigger scratch
-	specsTmp []window.Spec
+	specsTmp []window.Spec //lint:pooled scratch per-trigger window-spec scratch
 
 	// Shared window-fire engine (DESIGN.md §15): the merge tree memoizes
 	// slice partials, classes dedup combine work across queries, and
@@ -224,17 +224,17 @@ type SharedAggregation struct {
 	//lint:ephemeral constructor wiring (fault injection forces the scan arm)
 	treeOff bool
 	//lint:ephemeral per-trigger scratch
-	nodeTmp []int32
+	nodeTmp []int32 //lint:pooled scratch per-trigger merge-tree node scratch
 	//lint:ephemeral per-trigger scratch
-	classTmp []*fireClass
+	classTmp []*fireClass //lint:pooled scratch per-trigger combine-class scratch
 	//lint:ephemeral per-trigger scratch
-	fpTmp []*fireFP
+	fpTmp []*fireFP //lint:pooled scratch per-trigger fingerprint scratch
 	//lint:ephemeral per-trigger scratch
-	fpIdx []int32
+	fpIdx []int32 //lint:pooled scratch per-trigger fingerprint index scratch
 	//lint:ephemeral per-trigger scratch
-	qmaskTmp bitset.Bits
+	qmaskTmp bitset.Bits //lint:pooled scratch per-trigger query-mask scratch
 	//lint:ephemeral per-trigger scratch
-	relqTmp bitset.Bits
+	relqTmp bitset.Bits //lint:pooled scratch per-trigger relevant-query scratch
 	// shareMinQueries/shareMinRun gate the shared arm per trigger: below
 	// both bounds the direct scan fires instead — a one-query trigger over
 	// a short slice run has nothing to share, and the class/fingerprint

@@ -74,17 +74,17 @@ type SharedJoin struct {
 	// no-allocation discipline): the slice ⋈ slice kernel index, the
 	// per-trigger grouping, and the query-set intersection temporaries.
 	//lint:ephemeral per-trigger scratch
-	scratch joinScratch
+	scratch joinScratch //lint:pooled scratch slice-join kernel scratch arena
 	//lint:ephemeral per-trigger scratch
-	trigTmp []*joinTrigger
+	trigTmp []*joinTrigger //lint:pooled scratch per-trigger grouping scratch
 	//lint:ephemeral per-trigger scratch
-	capTmp []*capGroup
+	capTmp []*capGroup //lint:pooled scratch per-trigger cap-grouping scratch
 	//lint:ephemeral per-trigger scratch
-	effTmp bitset.Bits
+	effTmp bitset.Bits //lint:pooled scratch per-trigger effective-query scratch
 	//lint:ephemeral per-trigger scratch
-	pmTmp bitset.Bits
+	pmTmp bitset.Bits //lint:pooled scratch per-trigger port-mask scratch
 	//lint:ephemeral per-trigger scratch
-	specsTmp []window.Spec
+	specsTmp []window.Spec //lint:pooled scratch per-trigger window-spec scratch
 }
 
 // NewSharedJoin constructs the logic for one join-stage instance.

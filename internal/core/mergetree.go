@@ -42,9 +42,9 @@ type mergeTree struct {
 	n      int      // live leaf count
 	// pool recycles interior-node group payloads (their aggVals recycle
 	// through the owner's freelist).
-	pool []*aggGroup
+	pool []*aggGroup //lint:pooled freelist recycled interior-node group payloads
 	// mask is the node-build scratch bitset (fire paths use owner scratch).
-	mask bitset.Bits
+	mask bitset.Bits //lint:pooled scratch node-build bitset scratch
 }
 
 // mergeNode is one tree node. Leaves read has/epoch straight from their
@@ -127,6 +127,13 @@ func (t *mergeTree) reset(live []*slice) {
 		c <<= 1
 	}
 	if c != t.cap {
+		// Drain interior payloads before dropping the old arrays: their
+		// aggVals belong to the owner's freelist and the group objects to
+		// t.pool, both of which outlive the reallocation. Skipping this
+		// abandons every pooled payload the old tree held.
+		for i := 1; i < len(t.nodes); i++ {
+			t.clearNode(&t.nodes[i])
+		}
 		t.cap = c
 		//lint:ignore hotalloc cold: tree arrays reallocate only when live slice count crosses a power of two
 		t.nodes = make([]mergeNode, 2*c)

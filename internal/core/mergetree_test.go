@@ -250,3 +250,49 @@ func TestMergeTreeSurvivesSnapshotRestore(t *testing.T) {
 		t.Fatal("restored merge tree never anchored")
 	}
 }
+
+// TestMergeTreeResetReallocDrainsPayloads pins the capacity-change arm of
+// reset: interior-node payloads built at the old capacity must drain back
+// into the owner's freelist and the tree's group pool before the node
+// arrays are reallocated, not be abandoned with them.
+func TestMergeTreeResetReallocDrainsPayloads(t *testing.T) {
+	var out []string
+	sa := NewSharedAggregation(1, 50, fireRouter(&out, 8), NewOpMetrics(nil))
+	tr := sa.tree
+	if tr == nil {
+		t.Fatal("shared aggregation carries no merge tree")
+	}
+
+	tr.reset(nil) // anchor at the minimum capacity
+	if tr.cap != 8 {
+		t.Fatalf("anchored at cap %d, want 8", tr.cap)
+	}
+
+	// Hand-build an interior payload at the current capacity: one group
+	// holding two freelist-owned partials.
+	n := &tr.nodes[2]
+	n.groups = newQSIndex[aggGroup]()
+	g := tr.getGroup()
+	for _, key := range []int64{3, 9} {
+		g.byKey[key] = sa.getVal()
+		g.keys = append(g.keys, key)
+	}
+	n.groups.order = append(n.groups.order, g)
+
+	// Grow the live list past capacity so reset takes the realloc arm.
+	live := make([]*slice, 9)
+	for i := range live {
+		live[i] = &slice{}
+	}
+	vals, groups := len(sa.valPool), len(tr.pool)
+	tr.reset(live)
+	if tr.cap <= 8 {
+		t.Fatalf("reset kept cap %d; the realloc arm did not run", tr.cap)
+	}
+	if got := len(sa.valPool) - vals; got != 2 {
+		t.Errorf("realloc recycled %d aggVals into the freelist, want 2", got)
+	}
+	if got := len(tr.pool) - groups; got != 1 {
+		t.Errorf("realloc recycled %d groups into the tree pool, want 1", got)
+	}
+}

@@ -79,11 +79,11 @@ type SharedSelection struct {
 	// entryPool recycles entry-table backing arrays from watermark-pruned
 	// versions into future changelogs, bounding control-path churn.
 	//lint:ephemeral control-path scratch: recycled entry-slice capacity, content dead
-	entryPool [][]selEntry
+	entryPool [][]selEntry //lint:pooled freelist recycled entry-slice backings
 	// delScratch is the deletion lookup reused across changelogs with large
 	// Deleted sets; cleared after each use.
 	//lint:ephemeral control-path scratch, cleared after every changelog
-	delScratch map[int]struct{}
+	delScratch map[int]struct{} //lint:pooled scratch per-changelog deletion lookup scratch
 	//lint:ephemeral constructor wiring (metrics sink)
 	metrics *OpMetrics
 	//lint:ephemeral constructor wiring (allowed-lateness config)
@@ -94,7 +94,7 @@ type SharedSelection struct {
 	// (>64 slots) cost one allocation per emitted tuple instead of one per
 	// spill growth, and narrow sets cost none.
 	//lint:ephemeral per-tuple scratch, rebuilt from zero on the next tuple
-	qsTmp bitset.Bits
+	qsTmp bitset.Bits //lint:pooled scratch per-tuple query-set scratch
 	// onPredPanic, when set, receives predicate-evaluation panics so the
 	// engine can count strikes and quarantine the offending query instead of
 	// letting one bad ad-hoc predicate take down the shared pipeline.

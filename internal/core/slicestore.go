@@ -54,7 +54,7 @@ type qsIndex[G any] struct {
 	byStr  map[string]*G
 	order  []*G
 	keys   []bitset.Key // parallel to order, ascending by Key.Less
-	keyBuf []byte
+	keyBuf []byte //lint:pooled scratch reused key-encoding scratch buffer
 }
 
 func newQSIndex[G any]() *qsIndex[G] {
@@ -261,9 +261,9 @@ type joinEntry struct {
 // arena is truncated (capacity retained), and the query-set intersection is
 // computed in a scratch bitset.
 type joinScratch struct {
-	heads   map[int64]int32
-	entries []joinEntry
-	qsTmp   bitset.Bits
+	heads   map[int64]int32 //lint:pooled scratch cleared hash-index scratch
+	entries []joinEntry //lint:pooled scratch truncated entry-arena scratch
+	qsTmp   bitset.Bits //lint:pooled scratch query-set intersection scratch
 }
 
 // join produces joined tuples for every key-equal pair whose query-sets

@@ -13,7 +13,10 @@ package lint
 // panic-capturing supervisor, so no operator panic can kill the process.
 // The state scope names the packages whose Snapshot/Restore pairs the
 // state-integrity analyzers (snapcover, errsink, snapshot-symmetry) audit
-// before any of that state goes durable.
+// before any of that state goes durable. The lifetime analyzers (poolsafe,
+// aliasescape, scratchlocal) run module-wide: their registry is opt-in —
+// a package with no //lint:pooled directive early-outs for free — so
+// scoping would only exempt future pooled subsystems from the audit.
 func ModuleAnalyzers(modPath string) []*Analyzer {
 	wallclockAllow := []string{
 		modPath + "/internal/metrics",
@@ -54,5 +57,8 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		NewSnapCover(stateScope),
 		NewErrSink(stateScope),
 		NewSnapSymmetry(stateScope),
+		NewPoolSafe(nil),
+		NewAliasEscape(nil),
+		NewScratchLocal(nil),
 	}
 }

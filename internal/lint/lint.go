@@ -23,6 +23,7 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Package is one loaded, type-checked package as seen by analyzers.
@@ -84,6 +85,7 @@ type Module struct {
 
 	graph *CallGraph
 	sums  map[*CGNode]*BlockSummary
+	lt    *lifetimeResult
 }
 
 // NewModule wraps a set of loaded packages into one analysis scope.
@@ -104,6 +106,16 @@ func (m *Module) BlockSummaries() map[*CGNode]*BlockSummary {
 		m.sums = ComputeBlockSummaries(m.Graph())
 	}
 	return m.sums
+}
+
+// lifetime returns the shared lifetime-layer run (registry, summaries,
+// poolsafe/aliasescape/scratchlocal findings), computing it on first use so
+// the three analyzers share one pass.
+func (m *Module) lifetime() *lifetimeResult {
+	if m.lt == nil {
+		m.lt = computeLifetime(m)
+	}
+	return m.lt
 }
 
 // Diag builds a Diagnostic for the analyzer at pos.
@@ -215,9 +227,27 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 // a //lint:ignore directive is returned separately with the directive's
 // reason, in the same file/line order.
 func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []SuppressedDiagnostic) {
+	diags, sup, _ := RunAllTimed(pkgs, analyzers)
+	return diags, sup
+}
+
+// AnalyzerTiming is one analyzer's wall-clock cost over a RunAllTimed
+// invocation, summed across packages (and the module pass for module
+// analyzers). Shared infrastructure built lazily — the call graph, block
+// summaries, the lifetime dataflow — is billed to the first analyzer that
+// demands it.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunAllTimed is RunAll plus per-analyzer timings, in the analyzers'
+// given order.
+func RunAllTimed(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []SuppressedDiagnostic, []AnalyzerTiming) {
 	var out []Diagnostic
 	var sup []SuppressedDiagnostic
 	var allDirs []ignoreDirective
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	keep := func(d Diagnostic, dirs []ignoreDirective) {
 		if reason, ok := suppressReason(d, dirs); ok {
 			sup = append(sup, SuppressedDiagnostic{Diagnostic: d, Reason: reason})
@@ -233,7 +263,12 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []SuppressedD
 			if a.Run == nil {
 				continue
 			}
-			for _, d := range a.Run(p) {
+			//lint:ignore wallclock analyzer timing instrumentation, not event-time logic
+			start := time.Now()
+			ds := a.Run(p)
+			//lint:ignore wallclock analyzer timing instrumentation, not event-time logic
+			elapsed[a.Name] += time.Since(start)
+			for _, d := range ds {
 				keep(d, dirs)
 			}
 		}
@@ -243,9 +278,18 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []SuppressedD
 		if a.RunModule == nil {
 			continue
 		}
-		for _, d := range a.RunModule(mod) {
+		//lint:ignore wallclock analyzer timing instrumentation, not event-time logic
+		start := time.Now()
+		ds := a.RunModule(mod)
+		//lint:ignore wallclock analyzer timing instrumentation, not event-time logic
+		elapsed[a.Name] += time.Since(start)
+		for _, d := range ds {
 			keep(d, allDirs)
 		}
+	}
+	var timings []AnalyzerTiming
+	for _, a := range analyzers {
+		timings = append(timings, AnalyzerTiming{Name: a.Name, Elapsed: elapsed[a.Name]})
 	}
 	byPos := func(a, b Diagnostic) bool {
 		if a.Pos.Filename != b.Pos.Filename {
@@ -261,7 +305,7 @@ func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []SuppressedD
 	}
 	sort.Slice(out, func(i, j int) bool { return byPos(out[i], out[j]) })
 	sort.Slice(sup, func(i, j int) bool { return byPos(sup[i].Diagnostic, sup[j].Diagnostic) })
-	return out, sup
+	return out, sup, timings
 }
 
 // pathMatches reports whether an import path matches any pattern. A

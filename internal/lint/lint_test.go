@@ -172,6 +172,37 @@ func TestStateScope(t *testing.T) {
 // the JSON schema: RunAll returns each silenced finding with its
 // directive's reason, Run stays the unsuppressed projection, and
 // SuppressedFindings carries the reason into the Report.
+// The lifetime fixtures run under all three lifetime analyzers at once:
+// each fixture asserts its own analyzer's findings and the absence of
+// cross-findings from the other two (they share one dataflow run).
+func lifetimeAnalyzers(scope []string) []*Analyzer {
+	return []*Analyzer{NewPoolSafe(scope), NewAliasEscape(scope), NewScratchLocal(scope)}
+}
+
+func TestPoolSafeFixture(t *testing.T) {
+	checkFixture(t, "poolsafe", lifetimeAnalyzers(nil))
+}
+
+func TestAliasEscapeFixture(t *testing.T) {
+	checkFixture(t, "aliasescape", lifetimeAnalyzers(nil))
+}
+
+func TestScratchLocalFixture(t *testing.T) {
+	checkFixture(t, "scratchlocal", lifetimeAnalyzers(nil))
+}
+
+// TestLifetimeScope verifies the lifetime analyzers honor their package
+// scope: pointed at other packages, each fixture is silent.
+func TestLifetimeScope(t *testing.T) {
+	for _, fixture := range []string{"poolsafe", "aliasescape", "scratchlocal"} {
+		p := loadFixture(t, fixture)
+		diags := Run([]*Package{p}, lifetimeAnalyzers([]string{"mod/internal/other"}))
+		if len(diags) != 0 {
+			t.Errorf("%s: out-of-scope package produced %d diagnostics: %v", fixture, len(diags), diags)
+		}
+	}
+}
+
 func TestSuppressedReasons(t *testing.T) {
 	p := loadFixture(t, "ignore")
 	analyzers := []*Analyzer{NewWallclock(nil)}
@@ -244,5 +275,33 @@ func TestModuleClean(t *testing.T) {
 	}
 	for _, d := range Run(pkgs, ModuleAnalyzers(modPath)) {
 		t.Errorf("module not lint-clean: %s", d)
+	}
+}
+
+// BenchmarkVetFullRepo measures the full analyzer suite over the whole
+// module — the cost CI pays per run. The module load (parse + type-check)
+// happens once outside the timed loop; each iteration rebuilds the call
+// graph, summaries, and lifetime dataflow from scratch, which is what
+// RunAll does for a fresh invocation.
+func BenchmarkVetFullRepo(b *testing.B) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatal(err)
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := testLoader().LoadModule(root)
+	if err != nil {
+		b.Fatalf("loading module: %v", err)
+	}
+	analyzers := ModuleAnalyzers(modPath)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, _, _ := RunAllTimed(pkgs, analyzers)
+		if len(diags) != 0 {
+			b.Fatalf("module not lint-clean: %s", diags[0])
+		}
 	}
 }

@@ -1,0 +1,88 @@
+// Package aliasescape exercises the aliasescape analyzer: a pooled object
+// escapes into long-lived state, an emission buffer, or a channel, and is
+// then released anyway — the escaped alias now points at recycled memory.
+package aliasescape
+
+type item struct {
+	n int
+}
+
+type enc struct {
+	//lint:pooled freelist recycled item backings
+	free []*item
+
+	slot    *item
+	emitted []*item
+	ch      chan *item
+}
+
+//lint:pooled acquire pops a recycled item off the freelist
+func (e *enc) get() *item {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free = e.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+//lint:pooled release pushes an item back onto the freelist
+func (e *enc) put(it *item) {
+	e.free = append(e.free, it)
+}
+
+// storeThenRelease parks the object in live state and then recycles it:
+// e.slot now points at pooled memory.
+func (e *enc) storeThenRelease() {
+	it := e.get()
+	e.slot = it
+	e.put(it) // want "released after an alias escaped.*stored into e.slot"
+}
+
+// emitThenRelease appends the object to an emission buffer and recycles it.
+func (e *enc) emitThenRelease() {
+	it := e.get()
+	e.emitted = append(e.emitted, it)
+	e.put(it) // want "released after an alias escaped.*stored into e.emitted"
+}
+
+// sendThenRelease hands the object to another goroutine and recycles it.
+func (e *enc) sendThenRelease() {
+	it := e.get()
+	e.ch <- it
+	e.put(it) // want "released after an alias escaped.*sent on a channel"
+}
+
+// branchEscape escapes on one arm only; the release after the join is
+// flagged for that path.
+func (e *enc) branchEscape(flag bool) {
+	it := e.get()
+	if flag {
+		e.slot = it
+	}
+	e.put(it) // want "released after an alias escaped"
+}
+
+// handOff escapes without releasing: ownership transfers, clean.
+func (e *enc) handOff() {
+	it := e.get()
+	e.emitted = append(e.emitted, it)
+}
+
+// copyOut deep-copies before releasing: the escape is of the copy, clean.
+func (e *enc) copyOut() {
+	it := e.get()
+	cp := &item{n: it.n}
+	e.emitted = append(e.emitted, cp)
+	e.put(it)
+}
+
+// localOnly stores into a local container that dies with the call, then
+// releases; clean.
+func (e *enc) localOnly() {
+	it := e.get()
+	locals := make([]*item, 0, 1)
+	locals = append(locals, it)
+	e.put(it)
+	_ = locals
+}

@@ -1,0 +1,35 @@
+package poolsafe
+
+// Directive misuse: every malformed or misattached //lint:pooled is
+// reported so an annotation typo cannot silently disable the layer. The
+// `want` assertions use the block form because a line comment would be
+// swallowed by the directive's own comment text.
+
+/* want "needs a role" */ //lint:pooled
+var noRole int
+
+/* want "missing a reason" */ //lint:pooled freelist
+var noReason []int
+
+/* want "does not attach to a declaration" */ //lint:pooled scratch floating annotation with nothing under it
+
+var notAPool int /* want "pool on a non-sync.Pool declaration" */ //lint:pooled pool not actually a sync.Pool
+
+var notASlice map[int]int /* want "freelist on a non-slice declaration" */ //lint:pooled freelist not a slice
+
+/* want "acquire on a function with no results" */ //lint:pooled acquire returns nothing
+func acquiresNothing() {}
+
+func releasesNothing() {} /* want "release on a function with no parameters" */ //lint:pooled release takes nothing
+
+/* want "cannot annotate a function" */ //lint:pooled scratch on a function
+func scratchFunc() {}
+
+var acquireVar []int /* want "cannot annotate a variable or field" */ //lint:pooled acquire on a variable
+
+func useDirectiveDecls() (int, []int, int, map[int]int, []int) {
+	acquiresNothing()
+	releasesNothing()
+	scratchFunc()
+	return noRole, noReason, notAPool, notASlice, acquireVar
+}

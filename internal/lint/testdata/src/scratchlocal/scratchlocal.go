@@ -1,0 +1,79 @@
+// Package scratchlocal exercises the scratchlocal analyzer: aliases of a
+// declared scratch surface must not outlive the call that borrowed them.
+package scratchlocal
+
+type agg struct {
+	//lint:pooled scratch per-fire key scratch, truncated between fires
+	tmp []int
+
+	//lint:pooled scratch per-fire class scratch, truncated between fires
+	cls []int
+
+	keep [][]int
+	slot []int
+	ch   chan []int
+}
+
+// storeEscape retains the scratch backing in long-lived state.
+func (a *agg) storeEscape() {
+	a.tmp = a.tmp[:0]
+	a.tmp = append(a.tmp, 1)
+	a.keep = append(a.keep, a.tmp) // want "scratch tmp stored into a.keep"
+}
+
+// assignEscape retains the scratch backing through a field store.
+func (a *agg) assignEscape() {
+	a.tmp = a.tmp[:0]
+	a.slot = a.tmp // want "scratch tmp stored into a.slot"
+}
+
+// sendEscape hands the scratch backing to another goroutine's lifetime.
+func (a *agg) sendEscape() {
+	a.ch <- a.tmp // want "scratch tmp sent on a channel"
+}
+
+// goEscape passes the scratch backing to a goroutine.
+func (a *agg) goEscape() {
+	go consume(a.tmp) // want "scratch tmp passed to a goroutine"
+}
+
+func consume(xs []int) {}
+
+// Borrow hands the scratch backing to an arbitrary caller: exported
+// returns escape the package's control.
+func (a *agg) Borrow() []int {
+	return a.tmp // want "scratch tmp returned from exported"
+}
+
+// borrow is the in-package borrow helper idiom: an unexported return is the
+// caller's problem, and the caller's own exits are still checked; clean.
+func (a *agg) borrow() []int {
+	return a.tmp
+}
+
+// scratchToScratch moves between two scratch surfaces of the same owner;
+// both die with the call, clean.
+func (a *agg) scratchToScratch() {
+	a.cls = a.cls[:0]
+	a.cls = append(a.cls, a.tmp...)
+}
+
+// localUse borrows, uses, and drops within the call; clean.
+func (a *agg) localUse(k int) int {
+	a.tmp = a.tmp[:0]
+	a.tmp = append(a.tmp, k)
+	total := 0
+	for _, v := range a.tmp {
+		total += v
+	}
+	return total
+}
+
+// deepCopy copies out of the scratch before retaining; clean.
+func (a *agg) deepCopy() {
+	a.tmp = a.tmp[:0]
+	a.tmp = append(a.tmp, 1)
+	cp := make([]int, len(a.tmp))
+	copy(cp, a.tmp)
+	a.keep = append(a.keep, cp)
+}

@@ -1,6 +1,7 @@
 package spe
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 	"testing"
@@ -261,5 +262,47 @@ func TestBatchCodecRoundTrip(t *testing.T) {
 	}
 	if _, err := c.DecodeBatch(enc[:len(enc)-2]); err == nil {
 		t.Fatal("truncated batch body must error")
+	}
+}
+
+// TestDecodeBatchErrorReturnsBufferToPool pins DecodeBatch's error paths:
+// a decode that fails after acquiring a batch buffer must return that
+// buffer to the exchange pool instead of leaking it.
+func TestDecodeBatchErrorReturnsBufferToPool(t *testing.T) {
+	var c BinaryCodec
+	enc := c.EncodeBatch([]event.Tuple{{Key: 1, Time: 2}})
+
+	// The encoded tuple carries no query-set, so its word count is the
+	// final u32 of the encoding; patching it past maxQSWords drives the
+	// oversized-query-set error path.
+	oversized := append([]byte(nil), enc...)
+	binary.LittleEndian.PutUint32(oversized[len(oversized)-4:], maxQSWords+1)
+
+	cases := []struct {
+		name string
+		bad  []byte
+	}{
+		{"truncated body", enc[:len(enc)-2]},
+		{"oversized query-set", oversized},
+	}
+	for _, tc := range cases {
+		// Under the race detector sync.Pool randomly discards Puts, so a
+		// single attempt can miss even when DecodeBatch recycles
+		// correctly. A leak never lands in the pool, so retrying only
+		// converts correct behavior into a pass, never a leak.
+		recycled := false
+		for attempt := 0; attempt < 32 && !recycled; attempt++ {
+			for tupleBatchPool.Get() != nil {
+				// Drain so the only possible pooled buffer afterwards is
+				// the one the failed decode acquired.
+			}
+			if _, err := c.DecodeBatch(tc.bad); err == nil {
+				t.Fatalf("%s batch must error", tc.name)
+			}
+			recycled = tupleBatchPool.Get() != nil
+		}
+		if !recycled {
+			t.Errorf("%s: failed decode leaked the pooled batch buffer", tc.name)
+		}
 	}
 }

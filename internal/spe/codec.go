@@ -178,6 +178,7 @@ func (BinaryCodec) DecodeBatch(b []byte) ([]event.Tuple, error) {
 		t.Stream = r.u8()
 		nw := r.u32()
 		if nw > maxQSWords {
+			putBatch(out)
 			return nil, fmt.Errorf("spe: query-set too large (%d words)", nw)
 		}
 		if nw > 0 {
@@ -188,6 +189,7 @@ func (BinaryCodec) DecodeBatch(b []byte) ([]event.Tuple, error) {
 			t.QuerySet = bitset.FromWords(words)
 		}
 		if r.err != nil {
+			putBatch(out)
 			return nil, r.err
 		}
 		out = append(out, t)

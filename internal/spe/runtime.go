@@ -57,10 +57,13 @@ const (
 
 // tupleBatchPool recycles exchange batch buffers between emitting and
 // receiving goroutines.
+//lint:pooled pool recycled exchange batch backings
 var tupleBatchPool sync.Pool
 
 // getBatch returns an empty batch buffer, reusing a pooled one when
 // available.
+//
+//lint:pooled acquire hands out a pooled batch backing
 func getBatch(n int) []event.Tuple {
 	if v := tupleBatchPool.Get(); v != nil {
 		return (*v.(*[]event.Tuple))[:0]
@@ -70,6 +73,8 @@ func getBatch(n int) []event.Tuple {
 }
 
 // putBatch returns a drained batch buffer to the pool.
+//
+//lint:pooled release returns a batch backing to the pool
 func putBatch(b []event.Tuple) {
 	if cap(b) == 0 {
 		return
