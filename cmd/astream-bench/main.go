@@ -26,6 +26,7 @@ import (
 
 	"astream/internal/checkpoint"
 	"astream/internal/core"
+	"astream/internal/durable"
 	"astream/internal/event"
 	"astream/internal/experiments"
 	"astream/internal/expr"
@@ -228,7 +229,17 @@ func writeJSON(dir string, sc experiments.Scale, nodes []int) error {
 	fmt.Printf("recovery: snapshot+suffix %8.2fms  full replay %8.2fms  speedup %.1fx (%d/%d records replayed)\n",
 		float64(recov.SnapshotRestoreNanos)/1e6, float64(recov.FullReplayNanos)/1e6,
 		recov.Speedup, recov.SuffixRecords, recov.LogRecords)
-	if err := writeFileJSON(filepath.Join(dir, "BENCH_recovery.json"), recov); err != nil {
+	durRows, err := benchDurableRecovery()
+	if err != nil {
+		return fmt.Errorf("durable recovery benchmark: %w", err)
+	}
+	for _, row := range durRows {
+		fmt.Printf("durable recovery: %2d ckpts delta=%d  reopen %8.2fms  wal %7d B  snap %7d B (%d/%d records replayed)\n",
+			row.Checkpoints, row.DeltaEvery, float64(row.ReopenNanos)/1e6,
+			row.WALBytes, row.SnapBytes, row.SuffixRecords, row.LogRecords)
+	}
+	report := recoveryReport{InMemory: recov, Durable: durRows}
+	if err := writeFileJSON(filepath.Join(dir, "BENCH_recovery.json"), report); err != nil {
 		return err
 	}
 
@@ -384,6 +395,199 @@ func benchRecovery() (recoveryResult, error) {
 		FullReplayNanos:      fullNanos,
 		Speedup:              float64(fullNanos) / float64(snapNanos),
 	}, nil
+}
+
+// recoveryReport is BENCH_recovery.json: the in-memory snapshot-vs-replay
+// comparison plus the durable backend's reopen sweep (recovery time vs state
+// size, full snapshots vs base+delta chains).
+type recoveryReport struct {
+	InMemory recoveryResult       `json:"in_memory"`
+	Durable  []durableRecoveryRow `json:"durable"`
+}
+
+// durableRecoveryRow is one point of the durable reopen sweep: a crashed
+// process's state directory opened cold — manifest load, WAL scan, chain
+// restore, suffix replay — at a given job length and delta cadence.
+type durableRecoveryRow struct {
+	Checkpoints   int   `json:"checkpoints"`
+	DeltaEvery    int   `json:"delta_every"`
+	LogRecords    int   `json:"log_records"`
+	SuffixRecords int   `json:"suffix_records"`
+	WALBytes      int64 `json:"wal_bytes"`
+	SnapBytes     int64 `json:"snap_bytes"`
+	ReopenNanos   int64 `json:"reopen_nanos"`
+}
+
+// benchDurableRecovery sweeps the durable backend's cold-open cost across job
+// length (checkpoints, which also scales retained slice state via a
+// long-window aggregation) and snapshot cadence (0 = every checkpoint full,
+// 3 = base + two deltas between fulls). Within a sweep point the delta modes
+// must produce identical final output or the comparison is meaningless.
+func benchDurableRecovery() ([]durableRecoveryRow, error) {
+	var rows []durableRecoveryRow
+	for _, ckpts := range []int{5, 20} {
+		var want []string
+		for _, deltaEvery := range []int{0, 3} {
+			row, out, err := runDurableRecovery(ckpts, deltaEvery)
+			if err != nil {
+				return nil, err
+			}
+			if want == nil {
+				want = out
+			} else if len(out) != len(want) {
+				return nil, fmt.Errorf("durable recovery outputs diverge across delta modes: %d vs %d results", len(out), len(want))
+			} else {
+				for i := range out {
+					if out[i] != want[i] {
+						return nil, fmt.Errorf("durable recovery outputs diverge at result %d: %q vs %q", i, out[i], want[i])
+					}
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// runDurableRecovery runs the logged workload against a durable state
+// directory, crashes after a short uncheckpointed tail, and times reopening
+// the directory cold (best of reps). Reopen without a subsequent checkpoint
+// leaves the directory untouched, so the reps are independent measurements of
+// the same crash state.
+func runDurableRecovery(ckpts, deltaEvery int) (durableRecoveryRow, []string, error) {
+	const (
+		ticksPerCkpt = 50
+		tailTicks    = 25
+		reps         = 3
+	)
+	dir, err := os.MkdirTemp("", "astream-bench-recovery-*")
+	if err != nil {
+		return durableRecoveryRow{}, nil, err
+	}
+	defer os.RemoveAll(dir)
+	cfg := core.Config{
+		Streams: 2, Parallelism: 2, Nodes: 2, WatermarkEvery: 1,
+		NowNanos: func() int64 { return 1 },
+		StateDir: dir, SnapshotDeltaEvery: deltaEvery,
+	}
+	r, s, err := durable.Open(cfg, nil, durable.Options{})
+	if err != nil {
+		return durableRecoveryRow{}, nil, err
+	}
+	queries := []*core.Query{
+		{Kind: core.KindAggregation, Arity: 1,
+			Predicates: []expr.Predicate{expr.True().And(expr.Comparison{Field: 0, Op: expr.GT, Value: 20})},
+			Window:     window.TumblingSpec(10), Agg: sqlstream.AggSum, AggField: 1},
+		// A window longer than the run pins its slices live, so retained
+		// aggregate state — and with it full-snapshot size — grows with the
+		// job while deltas stay proportional to the slices dirtied per
+		// barrier. This is the axis the sweep exists to show.
+		{Kind: core.KindAggregation, Arity: 1,
+			Predicates: []expr.Predicate{expr.True()},
+			Window:     window.TumblingSpec(1 << 20), Agg: sqlstream.AggSum, AggField: 2},
+		{Kind: core.KindJoin, Arity: 2,
+			Predicates: []expr.Predicate{expr.True(), expr.True()},
+			Window:     window.TumblingSpec(8), AggField: -1},
+	}
+	for _, q := range queries {
+		if err := r.Submit(q); err != nil {
+			return durableRecoveryRow{}, nil, err
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	now := event.Time(0)
+	tick := func() error {
+		now++
+		for st := 0; st < cfg.Streams; st++ {
+			tu := event.Tuple{Key: int64(rng.Intn(3)), Time: now}
+			for f := range tu.Fields {
+				tu.Fields[f] = int64(rng.Intn(100))
+			}
+			if err := r.Ingest(st, tu); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for p := 0; p < ckpts; p++ {
+		for i := 0; i < ticksPerCkpt; i++ {
+			if err := tick(); err != nil {
+				return durableRecoveryRow{}, nil, err
+			}
+		}
+		if _, err := r.Checkpoint(); err != nil {
+			return durableRecoveryRow{}, nil, err
+		}
+	}
+	for i := 0; i < tailTicks; i++ {
+		if err := tick(); err != nil {
+			return durableRecoveryRow{}, nil, err
+		}
+	}
+	logLen := s.WAL().Len()
+	suffix := logLen - s.Offsets()[ckpts-1]
+	committed := r.Crash()
+	if err := s.Close(); err != nil {
+		return durableRecoveryRow{}, nil, err
+	}
+	walBytes, err := dirBytes(filepath.Join(dir, "wal"))
+	if err != nil {
+		return durableRecoveryRow{}, nil, err
+	}
+	snapBytes, err := dirBytes(filepath.Join(dir, "snap"))
+	if err != nil {
+		return durableRecoveryRow{}, nil, err
+	}
+
+	var best int64
+	var out []string
+	for rep := 0; rep < reps; rep++ {
+		c := make(map[uint64][]string, len(committed))
+		for k, v := range committed {
+			c[k] = append([]string(nil), v...)
+		}
+		start := time.Now()
+		rec, rs, err := durable.Open(cfg, c, durable.Options{})
+		if err != nil {
+			return durableRecoveryRow{}, nil, err
+		}
+		el := time.Since(start).Nanoseconds()
+		o := rec.Finish()
+		if err := rs.Close(); err != nil {
+			return durableRecoveryRow{}, nil, err
+		}
+		if best == 0 || el < best {
+			best, out = el, o
+		}
+	}
+	return durableRecoveryRow{
+		Checkpoints:   ckpts,
+		DeltaEvery:    deltaEvery,
+		LogRecords:    logLen,
+		SuffixRecords: suffix,
+		WALBytes:      walBytes,
+		SnapBytes:     snapBytes,
+		ReopenNanos:   best,
+	}, out, nil
+}
+
+// dirBytes sums the sizes of the regular files directly under dir.
+func dirBytes(dir string) (int64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil {
+			return 0, err
+		}
+		if info.Mode().IsRegular() {
+			total += info.Size()
+		}
+	}
+	return total, nil
 }
 
 func writeFileJSON(path string, v any) error {

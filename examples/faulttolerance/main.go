@@ -1,36 +1,60 @@
-// Faulttolerance demonstrates the exactly-once story of paper §3.3: input
-// (tuples AND query changelog events) is logged, checkpoints cut the log at
-// barrier-aligned quiescent points, and a crash between checkpoints loses
-// only uncommitted results — deterministic replay regenerates them, and
-// committed epochs are never exposed twice.
+// Faulttolerance demonstrates the exactly-once story of paper §3.3 twice
+// over. Act 1 is the in-memory machinery: input (tuples AND query changelog
+// events) is logged, checkpoints cut the log at barrier-aligned quiescent
+// points, and a crash between checkpoints loses only uncommitted results —
+// deterministic replay regenerates them, and committed epochs are never
+// exposed twice. Act 2 moves the same guarantee across a process restart:
+// the durable backend persists the log and snapshots under a state
+// directory, the "process" dies (store closed, every in-memory structure
+// dropped) with its final WAL append literally torn in half, and a fresh
+// open rebuilds from the directory alone — truncating the torn frame,
+// restoring the latest completed checkpoint, and replaying the surviving
+// suffix.
 package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
 
 	"astream"
 	"astream/internal/checkpoint"
 	"astream/internal/core"
+	"astream/internal/durable"
 )
 
+func query() *core.Query {
+	return astream.NewAggregation(astream.Tumbling(10), astream.AggSum, 0, astream.True())
+}
+
+func tuple(i int) astream.Tuple {
+	t := astream.Tuple{Key: int64(i % 2), Time: astream.Time(i)}
+	t.Fields[0] = 1
+	return t
+}
+
 func main() {
+	inMemoryAct()
+	durableAct()
+}
+
+// inMemoryAct: crash and recover inside one process.
+func inMemoryAct() {
+	fmt.Println("=== Act 1: crash and recover in-process ===")
 	log := &checkpoint.Log{}
 	sink := checkpoint.NewTxSink()
 	runner, err := checkpoint.NewRunner(core.Config{Streams: 1, Parallelism: 2, WatermarkEvery: 1}, log, sink)
 	if err != nil {
 		panic(err)
 	}
-
-	q := astream.NewAggregation(astream.Tumbling(10), astream.AggSum, 0, astream.True())
-	if err := runner.Submit(q); err != nil {
+	if err := runner.Submit(query()); err != nil {
 		panic(err)
 	}
 
 	ingest := func(from, to int) {
 		for i := from; i <= to; i++ {
-			t := astream.Tuple{Key: int64(i % 2), Time: astream.Time(i)}
-			t.Fields[0] = 1
-			if err := runner.Ingest(0, t); err != nil {
+			if err := runner.Ingest(0, tuple(i)); err != nil {
 				panic(err)
 			}
 		}
@@ -70,4 +94,139 @@ func main() {
 	for _, r := range final {
 		fmt.Println("  ", r)
 	}
+}
+
+// durableAct: the same guarantee across a process restart, with the final
+// WAL append torn mid-frame for good measure.
+func durableAct() {
+	fmt.Println("\n=== Act 2: process restart from the state directory ===")
+	dir, err := os.MkdirTemp("", "astream-faulttolerance-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := core.Config{
+		Streams: 1, Parallelism: 2, WatermarkEvery: 1,
+		StateDir: dir, SnapshotDeltaEvery: 3,
+	}
+
+	runner, store, err := durable.Open(cfg, nil, durable.Options{})
+	if err != nil {
+		panic(err)
+	}
+	if err := runner.Submit(query()); err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 35; i++ {
+		if err := runner.Ingest(0, tuple(i)); err != nil {
+			panic(err)
+		}
+	}
+	id, err := runner.Checkpoint()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("checkpoint %d durable: manifest renamed into place, WAL fsynced\n", id)
+	for i := 36; i <= 50; i++ {
+		if err := runner.Ingest(0, tuple(i)); err != nil {
+			panic(err)
+		}
+	}
+
+	// 💥 The process dies mid-append. Closing the store stands in for the
+	// process being gone; tearing the last WAL frame reproduces what the
+	// filesystem may leave behind when the crash interrupts a write.
+	committed := runner.Crash()
+	if err := store.Close(); err != nil {
+		panic(err)
+	}
+	tearLastFrame(dir)
+	fmt.Printf("CRASH — in-memory state gone, final WAL append torn mid-frame\n")
+
+	// A new process opens the directory cold: the torn frame is truncated
+	// (it was never acknowledged durable — acknowledgment past the last
+	// checkpoint is opportunistic until the next one), the latest completed
+	// checkpoint restores, and the surviving suffix replays. The source
+	// re-sends the one tuple whose append tore.
+	runner2, store2, err := durable.Open(cfg, committed, durable.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("restart: recovered to checkpoint %d, %d log records survive\n",
+		mustLatest(store2), store2.WAL().Len())
+	if err := runner2.Ingest(0, tuple(50)); err != nil {
+		panic(err)
+	}
+	final := runner2.Finish()
+	if err := store2.Close(); err != nil {
+		panic(err)
+	}
+
+	// Self-check: a clean, never-crashed run of the same input must produce
+	// byte-identical output.
+	want := cleanRun()
+	verdict := "EXACTLY ONCE — byte-identical to the clean run"
+	if len(final) != len(want) {
+		verdict = fmt.Sprintf("DIVERGED: %d results vs %d clean", len(final), len(want))
+	} else {
+		for i := range final {
+			if final[i] != want[i] {
+				verdict = fmt.Sprintf("DIVERGED at result %d", i)
+				break
+			}
+		}
+	}
+	fmt.Printf("after restart: %d results — %s\n", len(final), verdict)
+	for _, r := range final {
+		fmt.Println("  ", r)
+	}
+}
+
+// tearLastFrame chops bytes off the end of the newest WAL segment,
+// simulating an append the crash interrupted halfway.
+func tearLastFrame(dir string) {
+	entries, err := os.ReadDir(filepath.Join(dir, "wal"))
+	if err != nil {
+		panic(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	last := filepath.Join(dir, "wal", names[len(names)-1])
+	info, err := os.Stat(last)
+	if err != nil {
+		panic(err)
+	}
+	if err := os.Truncate(last, info.Size()-3); err != nil {
+		panic(err)
+	}
+}
+
+func mustLatest(s *durable.Store) uint64 {
+	k, ok := s.LatestComplete()
+	if !ok {
+		panic("no completed checkpoint after restart")
+	}
+	return k
+}
+
+// cleanRun produces the reference output: the same 50 tuples, no crash.
+func cleanRun() []string {
+	runner, err := checkpoint.NewRunner(
+		core.Config{Streams: 1, Parallelism: 2, WatermarkEvery: 1},
+		&checkpoint.Log{}, checkpoint.NewTxSink())
+	if err != nil {
+		panic(err)
+	}
+	if err := runner.Submit(query()); err != nil {
+		panic(err)
+	}
+	for i := 1; i <= 50; i++ {
+		if err := runner.Ingest(0, tuple(i)); err != nil {
+			panic(err)
+		}
+	}
+	return runner.Finish()
 }

@@ -171,6 +171,15 @@ func (b Bits) Words() []uint64 {
 	return w
 }
 
+// WordCount returns the number of significant backing words (trailing zero
+// words ignored) — the length Words() would return, without the copy.
+func (b Bits) WordCount() int { return b.sigWords() }
+
+// Word returns the i-th backing word, least-significant first; indexes at or
+// beyond WordCount() return zero. With WordCount this lets encoders walk the
+// set without the per-call allocation Words() pays for its copy.
+func (b Bits) Word(i int) uint64 { return b.word(i) }
+
 // Set sets bit i. Negative indexes panic.
 func (b *Bits) Set(i int) {
 	if i < 0 {

@@ -257,6 +257,25 @@ func TestWordsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestWordAccessors pins Word/WordCount against Words(): the allocation-free
+// walk the snapshot encoders use must see exactly the copied view.
+func TestWordAccessors(t *testing.T) {
+	for _, a := range []Bits{{}, FromIndexes(3), FromIndexes(0, 64, 127), FromIndexes(200)} {
+		words := a.Words()
+		if got := a.WordCount(); got != len(words) {
+			t.Fatalf("WordCount = %d, Words len = %d", got, len(words))
+		}
+		for i, w := range words {
+			if got := a.Word(i); got != w {
+				t.Fatalf("Word(%d) = %#x, Words()[%d] = %#x", i, got, i, w)
+			}
+		}
+		if got := a.Word(a.WordCount()); got != 0 {
+			t.Fatalf("Word past count = %#x, want 0", got)
+		}
+	}
+}
+
 func randomBits(rng *rand.Rand, maxBit int) Bits {
 	var b Bits
 	n := rng.Intn(maxBit)

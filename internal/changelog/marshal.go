@@ -217,6 +217,85 @@ func TableFromSnapshot(b []byte) (*Table, error) {
 	return t, nil
 }
 
+// Table delta modes. A delta is normally incremental — the changelogs the
+// receiver has not seen plus the sender's new base — but falls back to a
+// full snapshot when compaction has advanced the sender's base past the
+// receiver's latest epoch (the incremental suffix alone could no longer
+// reproduce the retained window).
+const (
+	tableDeltaFull        = 0
+	tableDeltaIncremental = 1
+)
+
+// AppendDelta serializes the table's change since a previous snapshot whose
+// Latest() was sinceLatest. Applying the result with ApplyDelta to a table
+// restored at exactly that epoch reproduces this table bit-for-bit.
+func (t *Table) AppendDelta(b []byte, sinceLatest uint64) []byte {
+	if sinceLatest < t.base || sinceLatest > t.Latest() {
+		b = appendU8(b, tableDeltaFull)
+		return append(b, t.Snapshot()...)
+	}
+	b = appendU8(b, tableDeltaIncremental)
+	b = appendU64(b, sinceLatest)
+	b = appendU64(b, t.base)
+	b = appendU32(b, uint32(t.Latest()-sinceLatest))
+	for _, cl := range t.logs {
+		if cl.Seq > sinceLatest {
+			b = AppendChangelog(b, cl)
+		}
+	}
+	return b
+}
+
+// ApplyDelta advances the table by one AppendDelta blob: new changelogs are
+// appended through Add (re-verifying seq continuity) and the sender's
+// compaction point is replayed. The table must be at exactly the epoch the
+// delta was encoded against; chains therefore apply strictly in order.
+func (t *Table) ApplyDelta(b []byte) error {
+	r := &snapReader{b: b}
+	switch mode := r.u8("table delta mode"); {
+	case r.err != nil:
+		return r.err
+	case mode == tableDeltaFull:
+		nt, err := TableFromSnapshot(r.b)
+		if err != nil {
+			return err
+		}
+		*t = *nt
+		return nil
+	case mode == tableDeltaIncremental:
+		since := r.u64("table delta since")
+		newBase := r.u64("table delta base")
+		n := r.u32("table delta log count")
+		if r.err == nil && t.Latest() != since {
+			return fmt.Errorf("changelog: table delta encoded against epoch %d, table is at %d (chain applied out of order?)", since, t.Latest())
+		}
+		if r.err != nil || n > uint32(len(r.b)) {
+			r.fail("table delta log count")
+			return r.err
+		}
+		for i := uint32(0); i < n; i++ {
+			cl := readChangelog(r)
+			if r.err != nil {
+				return r.err
+			}
+			if err := t.Add(cl); err != nil {
+				return err
+			}
+		}
+		if r.err != nil {
+			return r.err
+		}
+		if len(r.b) != 0 {
+			return fmt.Errorf("changelog: table delta has %d trailing bytes (version skew?)", len(r.b))
+		}
+		t.Compact(newBase)
+		return nil
+	default:
+		return fmt.Errorf("changelog: unknown table delta mode %d", mode)
+	}
+}
+
 // Snapshot serializes the registry: mode, counters, the full slot table,
 // and the free-slot stack. The query→slot index is rebuilt on restore.
 func (r *Registry) Snapshot() []byte {

@@ -63,12 +63,14 @@ type Log struct {
 	recs []Record
 }
 
-// Append adds a record and returns its offset.
-func (l *Log) Append(r Record) int {
+// Append adds a record and returns its offset. The in-memory log cannot
+// fail; the error return exists for InputLog implementations that write
+// through to disk.
+func (l *Log) Append(r Record) (int, error) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.recs = append(l.recs, r)
-	return len(l.recs) - 1
+	return len(l.recs) - 1, nil
 }
 
 // Len returns the number of records.
@@ -93,6 +95,81 @@ func (l *Log) Slice(from, to int) []Record {
 	return out
 }
 
+// AppendRecord serializes one record onto b, in the same per-record framing
+// Marshal uses for whole logs. The durable backend's write-ahead log encodes
+// each record individually through this helper, so both log representations
+// stay byte-compatible by construction.
+func AppendRecord(b []byte, r *Record) []byte {
+	b = append(b, byte(r.Kind))
+	switch r.Kind {
+	case RecTuple:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Stream))
+		enc := (spe.BinaryCodec{}).Encode(event.NewTuple(r.Tuple))
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+		b = append(b, enc...)
+	case RecSubmit:
+		enc := MarshalQuery(r.Query)
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(enc)))
+		b = append(b, enc...)
+	case RecStop:
+		b = binary.LittleEndian.AppendUint32(b, uint32(r.Ordinal))
+	}
+	return b
+}
+
+// DecodeRecord decodes one record produced by AppendRecord and returns the
+// remaining bytes.
+func DecodeRecord(b []byte) (Record, []byte, error) {
+	var r Record
+	if len(b) < 1 {
+		return r, nil, fmt.Errorf("checkpoint: truncated record kind")
+	}
+	r.Kind = RecordKind(b[0])
+	b = b[1:]
+	switch r.Kind {
+	case RecTuple:
+		if len(b) < 8 {
+			return r, nil, fmt.Errorf("checkpoint: truncated tuple header")
+		}
+		r.Stream = int(binary.LittleEndian.Uint32(b))
+		sz := int(binary.LittleEndian.Uint32(b[4:]))
+		b = b[8:]
+		if sz < 0 || len(b) < sz {
+			return r, nil, fmt.Errorf("checkpoint: truncated tuple body")
+		}
+		el, err := (spe.BinaryCodec{}).Decode(b[:sz])
+		if err != nil {
+			return r, nil, err
+		}
+		r.Tuple = el.Tuple
+		b = b[sz:]
+	case RecSubmit:
+		if len(b) < 4 {
+			return r, nil, fmt.Errorf("checkpoint: truncated query header")
+		}
+		sz := int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+		if sz < 0 || len(b) < sz {
+			return r, nil, fmt.Errorf("checkpoint: truncated query body")
+		}
+		q, err := UnmarshalQuery(b[:sz])
+		if err != nil {
+			return r, nil, err
+		}
+		r.Query = q
+		b = b[sz:]
+	case RecStop:
+		if len(b) < 4 {
+			return r, nil, fmt.Errorf("checkpoint: truncated stop record")
+		}
+		r.Ordinal = int(binary.LittleEndian.Uint32(b))
+		b = b[4:]
+	default:
+		return r, nil, fmt.Errorf("checkpoint: unknown record kind %d", r.Kind)
+	}
+	return r, b, nil
+}
+
 // Marshal serializes the whole log (durability simulation: what would be on
 // disk or in Kafka).
 func (l *Log) Marshal() []byte {
@@ -100,23 +177,8 @@ func (l *Log) Marshal() []byte {
 	defer l.mu.Unlock()
 	var buf []byte
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(l.recs)))
-	codec := spe.BinaryCodec{}
 	for i := range l.recs {
-		r := &l.recs[i]
-		buf = append(buf, byte(r.Kind))
-		switch r.Kind {
-		case RecTuple:
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Stream))
-			enc := codec.Encode(event.NewTuple(r.Tuple))
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
-			buf = append(buf, enc...)
-		case RecSubmit:
-			enc := MarshalQuery(r.Query)
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(enc)))
-			buf = append(buf, enc...)
-		case RecStop:
-			buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Ordinal))
-		}
+		buf = AppendRecord(buf, &l.recs[i])
 	}
 	return buf
 }
@@ -129,57 +191,13 @@ func UnmarshalLog(b []byte) (*Log, error) {
 	n := int(binary.LittleEndian.Uint32(b))
 	b = b[4:]
 	l := &Log{recs: make([]Record, 0, n)}
-	codec := spe.BinaryCodec{}
 	for i := 0; i < n; i++ {
-		if len(b) < 1 {
-			return nil, fmt.Errorf("checkpoint: truncated log at record %d", i)
-		}
-		kind := RecordKind(b[0])
-		b = b[1:]
-		var r Record
-		r.Kind = kind
-		switch kind {
-		case RecTuple:
-			if len(b) < 8 {
-				return nil, fmt.Errorf("checkpoint: truncated tuple header")
-			}
-			r.Stream = int(binary.LittleEndian.Uint32(b))
-			sz := int(binary.LittleEndian.Uint32(b[4:]))
-			b = b[8:]
-			if len(b) < sz {
-				return nil, fmt.Errorf("checkpoint: truncated tuple body")
-			}
-			el, err := codec.Decode(b[:sz])
-			if err != nil {
-				return nil, err
-			}
-			r.Tuple = el.Tuple
-			b = b[sz:]
-		case RecSubmit:
-			if len(b) < 4 {
-				return nil, fmt.Errorf("checkpoint: truncated query header")
-			}
-			sz := int(binary.LittleEndian.Uint32(b))
-			b = b[4:]
-			if len(b) < sz {
-				return nil, fmt.Errorf("checkpoint: truncated query body")
-			}
-			q, err := UnmarshalQuery(b[:sz])
-			if err != nil {
-				return nil, err
-			}
-			r.Query = q
-			b = b[sz:]
-		case RecStop:
-			if len(b) < 4 {
-				return nil, fmt.Errorf("checkpoint: truncated stop record")
-			}
-			r.Ordinal = int(binary.LittleEndian.Uint32(b))
-			b = b[4:]
-		default:
-			return nil, fmt.Errorf("checkpoint: unknown record kind %d", kind)
+		r, rest, err := DecodeRecord(b)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: log record %d: %w", i, err)
 		}
 		l.recs = append(l.recs, r)
+		b = rest
 	}
 	return l, nil
 }

@@ -25,12 +25,30 @@ type Manifest struct {
 // makes checkpoint positions quiescent points: no input enters the engine
 // between barrier injection and completion, so an epoch's results are
 // exactly the results of its log range.
+// InputLog is the input-log contract the runner writes and replays. The
+// in-memory Log is the default; internal/durable provides a segmented
+// on-disk write-ahead log. Offsets are absolute across the log's lifetime:
+// a durable log that truncates old segments still addresses surviving
+// records by their original offsets.
+type InputLog interface {
+	// Append adds a record and returns its absolute offset. A durable log
+	// returns an error when the write-through fails (the record must not be
+	// applied to the engine in that case).
+	Append(r Record) (int, error)
+	// Len returns the absolute offset one past the last record.
+	Len() int
+	// Slice returns records [from, to). Both bounds must address retained
+	// records (a durable log panics below its truncation point — recovery
+	// validates retention before replaying).
+	Slice(from, to int) []Record
+}
+
 type Runner struct {
 	cfg      core.Config
 	eng      *core.Engine
-	log      *Log
+	log      InputLog
 	sink     *TxSink
-	store    *SnapshotStore
+	store    Store
 	manifest Manifest
 	ordinals []int // created query IDs, by submit order
 	barrier  uint64
@@ -42,7 +60,7 @@ type Runner struct {
 
 // NewRunner builds an engine wired for checkpointing, with a private
 // snapshot store.
-func NewRunner(cfg core.Config, log *Log, sink *TxSink) (*Runner, error) {
+func NewRunner(cfg core.Config, log InputLog, sink *TxSink) (*Runner, error) {
 	return NewRunnerWithStore(cfg, log, sink, NewSnapshotStore())
 }
 
@@ -50,12 +68,18 @@ func NewRunner(cfg core.Config, log *Log, sink *TxSink) (*Runner, error) {
 // caller-owned snapshot store. Sharing one store across incarnations is what
 // enables snapshot-based recovery: the successor reads its predecessor's
 // latest completed checkpoint from the same store.
-func NewRunnerWithStore(cfg core.Config, log *Log, sink *TxSink, store *SnapshotStore) (*Runner, error) {
+func NewRunnerWithStore(cfg core.Config, log InputLog, sink *TxSink, store Store) (*Runner, error) {
 	r := &Runner{log: log, sink: sink, store: store}
 	cfg.SnapshotSink = store.NewGate()
 	// Deterministic session behaviour: one changelog per request, no timer.
 	cfg.BatchSize = 1
 	cfg.BatchTimeout = time.Hour
+	// Incremental snapshots only make sense against a store that can
+	// persist and resolve delta chains; everything else gets full
+	// snapshots regardless of configuration.
+	if h, ok := store.(BackendHooks); !ok || !h.SupportsDeltas() {
+		cfg.SnapshotDeltaEvery = 0
+	}
 	// Failures wake any in-flight checkpoint wait: a dead instance will
 	// never pass its barrier, so the coordinator must give up and recover.
 	userCB := cfg.OnInstanceFailure
@@ -81,7 +105,7 @@ func NewRunnerWithStore(cfg core.Config, log *Log, sink *TxSink, store *Snapshot
 func (r *Runner) Engine() *core.Engine { return r.eng }
 
 // Store exposes the snapshot store, for handing to a successor incarnation.
-func (r *Runner) Store() *SnapshotStore { return r.store }
+func (r *Runner) Store() Store { return r.store }
 
 // Manifest returns the checkpoint manifest so far.
 func (r *Runner) Manifest() Manifest {
@@ -92,7 +116,9 @@ func (r *Runner) Manifest() Manifest {
 
 // Submit logs and submits a query creation.
 func (r *Runner) Submit(q *core.Query) error {
-	r.log.Append(Record{Kind: RecSubmit, Query: q})
+	if _, err := r.log.Append(Record{Kind: RecSubmit, Query: q}); err != nil {
+		return err
+	}
 	return r.applySubmit(q)
 }
 
@@ -108,7 +134,9 @@ func (r *Runner) applySubmit(q *core.Query) error {
 
 // StopOrdinal logs and applies a stop of the n-th created query (1-based).
 func (r *Runner) StopOrdinal(ord int) error {
-	r.log.Append(Record{Kind: RecStop, Ordinal: ord})
+	if _, err := r.log.Append(Record{Kind: RecStop, Ordinal: ord}); err != nil {
+		return err
+	}
 	return r.applyStop(ord)
 }
 
@@ -126,7 +154,9 @@ func (r *Runner) applyStop(ord int) error {
 
 // Ingest logs and pushes one tuple.
 func (r *Runner) Ingest(stream int, t event.Tuple) error {
-	r.log.Append(Record{Kind: RecTuple, Stream: stream, Tuple: t})
+	if _, err := r.log.Append(Record{Kind: RecTuple, Stream: stream, Tuple: t}); err != nil {
+		return err
+	}
 	return r.eng.Ingest(stream, t)
 }
 
@@ -139,15 +169,21 @@ func (r *Runner) Ingest(stream int, t event.Tuple) error {
 func (r *Runner) Checkpoint() (uint64, error) {
 	r.barrier++
 	id := r.barrier
+	offset := r.log.Len()
 	r.eng.Checkpoint(id)
-	if err := r.store.await(id, r.eng.InstanceCount()); err != nil {
+	if err := r.store.Await(id, r.eng.InstanceCount()); err != nil {
 		return id, err
 	}
 	r.store.SetControl(id, r.controlBlob())
-	r.store.MarkComplete(id)
+	if h, ok := r.store.(BackendHooks); ok {
+		h.NoteOffset(id, offset)
+	}
+	if err := r.store.MarkComplete(id); err != nil {
+		return id, err
+	}
 	r.sink.Commit(id - 1)
 	r.sink.BeginEpoch(id)
-	r.manifest.Offsets = append(r.manifest.Offsets, r.log.Len())
+	r.manifest.Offsets = append(r.manifest.Offsets, offset)
 	return id, nil
 }
 
@@ -208,7 +244,7 @@ func (r *Runner) Finish() []string {
 // rest commit as replay crosses the manifest's checkpoint positions. Cost is
 // proportional to the whole log; prefer RecoverFromStore when a snapshot
 // store with a completed checkpoint is available.
-func Recover(cfg core.Config, log *Log, manifest Manifest, committed map[uint64][]string) (*Runner, error) {
+func Recover(cfg core.Config, log InputLog, manifest Manifest, committed map[uint64][]string) (*Runner, error) {
 	sink := NewTxSink()
 	sink.SeedCommitted(committed)
 	r, err := NewRunner(cfg, log, sink)
@@ -224,7 +260,7 @@ func Recover(cfg core.Config, log *Log, manifest Manifest, committed map[uint64]
 // suffix past K's offset is replayed — recovery cost proportional to the
 // checkpoint interval, not job lifetime. Falls back to full-log Recover when
 // the store has no completed checkpoint.
-func RecoverFromStore(cfg core.Config, log *Log, manifest Manifest, committed map[uint64][]string, store *SnapshotStore) (*Runner, error) {
+func RecoverFromStore(cfg core.Config, log InputLog, manifest Manifest, committed map[uint64][]string, store Store) (*Runner, error) {
 	k, ok := store.LatestComplete()
 	if !ok {
 		// Nothing completed yet: full-log replay, but still against the
@@ -261,8 +297,8 @@ func RecoverFromStore(cfg core.Config, log *Log, manifest Manifest, committed ma
 	if err := r.eng.RestoreControl(engCtrl); err != nil {
 		return nil, err
 	}
-	if err := r.eng.RestoreOperators(func(op string, instance int) ([]byte, bool) {
-		return store.Fetch(k, op, instance)
+	if err := r.eng.RestoreOperators(func(op string, instance int) ([][]byte, bool) {
+		return store.FetchChain(k, op, instance)
 	}); err != nil {
 		return nil, err
 	}
@@ -287,7 +323,7 @@ func (r *Runner) replayRange(start int, manifest Manifest, nextOffset int) error
 	for i, rec := range recs {
 		abs := start + i
 		for next < len(manifest.Offsets) && manifest.Offsets[next] == abs {
-			if err := r.replayCheckpoint(); err != nil {
+			if err := r.replayCheckpoint(manifest.Offsets[next]); err != nil {
 				return err
 			}
 			r.manifest.Offsets = append(r.manifest.Offsets, manifest.Offsets[next])
@@ -309,7 +345,7 @@ func (r *Runner) replayRange(start int, manifest Manifest, nextOffset int) error
 		}
 	}
 	for next < len(manifest.Offsets) && manifest.Offsets[next] == r.log.Len() {
-		if err := r.replayCheckpoint(); err != nil {
+		if err := r.replayCheckpoint(manifest.Offsets[next]); err != nil {
 			return err
 		}
 		r.manifest.Offsets = append(r.manifest.Offsets, manifest.Offsets[next])
@@ -326,16 +362,23 @@ func (r *Runner) FinishReplay() []string {
 }
 
 // replayCheckpoint re-cuts a checkpoint during replay, deduplicating epochs
-// the previous incarnation already committed.
-func (r *Runner) replayCheckpoint() error {
+// the previous incarnation already committed. The offset is the re-cut
+// position from the recovered manifest, re-noted so a durable store's
+// persisted offsets stay identical across incarnations.
+func (r *Runner) replayCheckpoint(offset int) error {
 	r.barrier++
 	id := r.barrier
 	r.eng.Checkpoint(id)
-	if err := r.store.await(id, r.eng.InstanceCount()); err != nil {
+	if err := r.store.Await(id, r.eng.InstanceCount()); err != nil {
 		return err
 	}
 	r.store.SetControl(id, r.controlBlob())
-	r.store.MarkComplete(id)
+	if h, ok := r.store.(BackendHooks); ok {
+		h.NoteOffset(id, offset)
+	}
+	if err := r.store.MarkComplete(id); err != nil {
+		return err
+	}
 	r.sink.CommitReplayed(id - 1)
 	r.sink.BeginEpoch(id)
 	return nil

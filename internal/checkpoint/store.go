@@ -7,6 +7,63 @@ import (
 	"astream/internal/spe"
 )
 
+// Store is the snapshot-store contract the checkpoint runner drives. The
+// in-memory SnapshotStore is the default implementation; internal/durable
+// provides an on-disk one (selected via core.Config.StateDir) whose
+// checkpoints survive process restarts. A store outlives engine
+// incarnations: a recovered runner reads its predecessor's latest completed
+// checkpoint from the same store and keeps appending to it.
+type Store interface {
+	// NewGate registers a new engine incarnation and returns its snapshot
+	// sink; all previous gates become stale and their writes are dropped.
+	NewGate() spe.SnapshotSink
+	// Await blocks until `total` distinct instance snapshots have arrived
+	// for the barrier, or a failure is reported (whichever first). It also
+	// tells the store how many deposits a completion mark for this barrier
+	// requires.
+	Await(barrier uint64, total int) error
+	// SetControl attaches the engine control snapshot to a barrier.
+	SetControl(barrier uint64, b []byte)
+	// MarkComplete marks a checkpoint durable. A store may refuse: the
+	// durable backend asserts every expected (op, instance) deposit for the
+	// barrier is present before committing the completion mark, because a
+	// mark without its deposits would be an unrecoverable checkpoint.
+	MarkComplete(barrier uint64) error
+	// DropAfter discards every snapshot, control blob, and completion mark
+	// above the barrier (a crashed incarnation's orphaned deposits).
+	DropAfter(barrier uint64)
+	// LatestComplete returns the newest completed barrier, if any.
+	LatestComplete() (uint64, bool)
+	// FetchChain returns one instance's snapshot chain at a completed
+	// barrier: a full snapshot followed by zero or more incremental deltas,
+	// in application order.
+	FetchChain(barrier uint64, op string, instance int) ([][]byte, bool)
+	// Control returns the engine control snapshot of a completed barrier.
+	Control(barrier uint64) ([]byte, bool)
+	// Fail records an instance failure and wakes any Await.
+	Fail(err error)
+	// Failure returns the recorded failure, if any.
+	Failure() error
+	// ClearFailure resets the failure state for the next incarnation.
+	ClearFailure()
+}
+
+// BackendHooks is the optional Store extension a log-owning (durable)
+// backend implements. The runner feeds it the log offset covered by each
+// barrier — the durable manifest persists those offsets so a restarted
+// process can re-cut the same epochs — and the backend uses the previous
+// completed checkpoint's offset as the safe point below which whole
+// write-ahead-log segments can be truncated.
+type BackendHooks interface {
+	// NoteOffset records the number of log records covered by a barrier.
+	// Called before MarkComplete(barrier).
+	NoteOffset(barrier uint64, offset int)
+	// SupportsDeltas reports whether the store can persist and resolve
+	// incremental snapshot chains. Runners force full snapshots when the
+	// store cannot.
+	SupportsDeltas() bool
+}
+
 // snapKey identifies one operator instance's snapshot within a barrier.
 type snapKey struct {
 	op       string
@@ -83,9 +140,9 @@ func (s *SnapshotStore) onSnapshot(gen uint64, op string, instance int, barrier 
 	s.cond.Broadcast()
 }
 
-// await blocks until `total` distinct instance snapshots have arrived for
+// Await blocks until `total` distinct instance snapshots have arrived for
 // the barrier, or a failure is reported (whichever first).
-func (s *SnapshotStore) await(barrier uint64, total int) error {
+func (s *SnapshotStore) Await(barrier uint64, total int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for len(s.snaps[barrier]) < total && s.failure == nil {
@@ -103,8 +160,11 @@ func (s *SnapshotStore) SetControl(barrier uint64, b []byte) {
 
 // MarkComplete marks a checkpoint durable (every snapshot and the control
 // blob are in). Older barriers except the immediate predecessor are dropped;
-// recovery only ever reads the latest completed checkpoint.
-func (s *SnapshotStore) MarkComplete(barrier uint64) {
+// recovery only ever reads the latest completed checkpoint. The in-memory
+// store never refuses a mark: deposit/mark ordering is asserted by the
+// durable backend, whose manifest is what makes the ordering observable
+// across a crash.
+func (s *SnapshotStore) MarkComplete(barrier uint64) error {
 	s.mu.Lock()
 	s.complete[barrier] = true
 	if barrier > s.latest {
@@ -126,6 +186,7 @@ func (s *SnapshotStore) MarkComplete(barrier uint64) {
 		}
 	}
 	s.mu.Unlock()
+	return nil
 }
 
 // DropAfter discards every snapshot, control blob, and completion mark above
@@ -170,6 +231,16 @@ func (s *SnapshotStore) Fetch(barrier uint64, op string, instance int) ([]byte, 
 	return b, ok
 }
 
+// FetchChain implements Store. The in-memory store holds only full
+// snapshots, so every chain has length one.
+func (s *SnapshotStore) FetchChain(barrier uint64, op string, instance int) ([][]byte, bool) {
+	b, ok := s.Fetch(barrier, op, instance)
+	if !ok {
+		return nil, false
+	}
+	return [][]byte{b}, true
+}
+
 // Control returns the engine control snapshot of a completed barrier.
 func (s *SnapshotStore) Control(barrier uint64) ([]byte, bool) {
 	s.mu.Lock()
@@ -206,3 +277,5 @@ func (s *SnapshotStore) ClearFailure() {
 	s.failure = nil
 	s.mu.Unlock()
 }
+
+var _ Store = (*SnapshotStore)(nil)

@@ -197,6 +197,21 @@ type SharedAggregation struct {
 	lastWM      event.Time
 	evictedThru event.Time
 
+	// Incremental-snapshot bookkeeping (OnBarrierDelta): per-slice fold
+	// counts captured at the last snapshot, the changelog epoch that
+	// snapshot held, and the current delta-chain length. All of it
+	// describes snapshots already taken, never live state — a recovered
+	// instance is freshly constructed, so snapFolds starts nil and the
+	// first delta-mode snapshot after recovery is always full.
+	//lint:ephemeral snapshot bookkeeping; nil forces the next delta-mode snapshot to be full
+	snapFolds map[uint64]uint64
+	//lint:ephemeral snapshot bookkeeping paired with snapFolds
+	snapTableSeq uint64
+	//lint:ephemeral snapshot bookkeeping paired with snapFolds
+	sinceFull int
+	//lint:ephemeral snapshot encoding scratch
+	tblScratch []byte //lint:pooled scratch table-delta encode buffer recycled across barriers
+
 	// Steady-state scratch (owned by the instance goroutine): query-set
 	// intersection temporaries, the trigger and cap grouping, per-trigger
 	// accumulators, and the aggVal freelist.

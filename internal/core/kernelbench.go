@@ -186,6 +186,35 @@ func KernelBenchmarks() []KernelBench {
 			},
 		},
 		{
+			// The incremental-snapshot encoder at a durable checkpoint: one
+			// slice dirtied since the previous barrier, everything else
+			// carried forward by identity. Deliberately NOT //lint:hotpath:
+			// the encoder runs once per barrier, not per tuple, so the
+			// hotalloc analyzer's per-tuple allocation rules do not apply —
+			// the steady-state allocation bar is pinned by TestKernelAllocs
+			// instead (the delta must not grow with barriers, only with
+			// dirtied state).
+			Name: "snapshot-delta-encode-64q",
+			New: func() func(int) {
+				agg := benchAgg(64)
+				qs := bitset.AllUpTo(64)
+				em := &spe.Emitter{}
+				for i := 0; i < 512; i++ {
+					agg.OnTuple(0, benchTuple(i, qs, event.Time(i%100)), em)
+				}
+				// Anchor the chain as OnBarrierDelta would: baseline every
+				// slice's fold counter, then warm the buffer capacity once.
+				agg.noteSnapshot(true)
+				buf := agg.appendDelta(nil)
+				return func(iters int) {
+					for i := 0; i < iters; i++ {
+						agg.OnTuple(0, benchTuple(i, qs, 50), em)
+						buf = agg.appendDelta(buf[:0])
+					}
+				}
+			},
+		},
+		{
 			Name: "bitset-and-into-128bit",
 			New: func() func(int) {
 				a := bitset.FromIndexes(1, 3, 64, 90, 120)

@@ -184,19 +184,31 @@ func (e *Engine) RestoreControl(snapshot []byte) error {
 }
 
 // RestoreOperators restores every shared-operator instance from fetched
-// snapshots, keyed exactly as the runtime reported them: (node name,
-// instance). Must be called before any input is pushed; the instance
-// goroutines only touch their logic after their first inbox receive, so the
-// channel send orders these writes safely (embedded chains are driven by the
-// ingestion goroutine itself).
-func (e *Engine) RestoreOperators(fetch func(op string, instance int) ([]byte, bool)) error {
+// snapshot chains, keyed exactly as the runtime reported them: (node name,
+// instance). A chain is one full snapshot followed by zero or more
+// incremental deltas in application order (the in-memory store always
+// fetches length-one chains; the durable backend resolves base + deltas).
+// Must be called before any input is pushed; the instance goroutines only
+// touch their logic after their first inbox receive, so the channel send
+// orders these writes safely (embedded chains are driven by the ingestion
+// goroutine itself).
+func (e *Engine) RestoreOperators(fetch func(op string, instance int) ([][]byte, bool)) error {
 	restore := func(op string, instance int, l spe.Restorable) error {
-		state, ok := fetch(op, instance)
-		if !ok {
+		chain, ok := fetch(op, instance)
+		if !ok || len(chain) == 0 {
 			return fmt.Errorf("core: no snapshot for %s[%d]", op, instance)
 		}
-		if err := l.Restore(state); err != nil {
+		if err := l.Restore(chain[0]); err != nil {
 			return fmt.Errorf("core: restore %s[%d]: %w", op, instance, err)
+		}
+		for i, delta := range chain[1:] {
+			dr, ok := l.(spe.DeltaRestorable)
+			if !ok {
+				return fmt.Errorf("core: %s[%d] snapshot chain has %d deltas but the operator cannot apply them", op, instance, len(chain)-1)
+			}
+			if err := dr.RestoreDelta(delta); err != nil {
+				return fmt.Errorf("core: restore %s[%d] delta %d/%d: %w", op, instance, i+1, len(chain)-1, err)
+			}
 		}
 		return nil
 	}

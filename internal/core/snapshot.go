@@ -43,10 +43,10 @@ func snapBool(b []byte, v bool) []byte {
 }
 
 func snapBits(b []byte, bits bitset.Bits) []byte {
-	words := bits.Words()
-	b = snapU32(b, uint32(len(words)))
-	for _, w := range words {
-		b = snapU64(b, w)
+	n := bits.WordCount()
+	b = snapU32(b, uint32(n))
+	for i := 0; i < n; i++ {
+		b = snapU64(b, bits.Word(i))
 	}
 	return b
 }

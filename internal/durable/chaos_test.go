@@ -1,0 +1,142 @@
+package durable
+
+import (
+	"fmt"
+	"testing"
+
+	"astream/internal/fault"
+)
+
+// The DiskPlan satisfies the hook seam structurally; pin it here so a drift
+// in either signature fails compilation where both packages are visible.
+var _ Hook = (*fault.DiskPlan)(nil)
+
+// The durable chaos harness extends the checkpoint chaos methodology below
+// the durability line: the same deterministic workload runs under a seeded
+// plan of engine faults (instance kills, exchange batch faults) AND a seeded
+// plan of disk faults (torn writes, corrupted frames, lying fsyncs, crashes
+// before rename). Every failure is treated as a process death: the store is
+// closed, all in-memory state is discarded, and the next incarnation rebuilds
+// exclusively from the state directory. The committed output merged across
+// all incarnations must be byte-identical to a fault-free in-memory run.
+
+// runDurableChaos drives steps under both fault plans, crashing and
+// reopening from disk on every surfaced error, and returns the final
+// committed output plus the number of recoveries.
+func runDurableChaos(t *testing.T, steps []dstep, plan *fault.Plan, disk *fault.DiskPlan, deltaEvery int) ([]string, int) {
+	t.Helper()
+	dir := t.TempDir()
+	cfg := dConfig(dir, deltaEvery)
+	if plan != nil {
+		cfg.FaultHook = plan
+	}
+	opts := Options{Hook: disk, SegmentBytes: 1 << 10}
+
+	committed := map[uint64][]string{}
+	recoveries := 0
+	const maxRecoveries = 32
+	r, s, err := Open(cfg, nil, opts)
+	for err != nil {
+		recoveries++
+		if recoveries > maxRecoveries {
+			t.Fatalf("no stable open after %d attempts; last: %v", maxRecoveries, err)
+		}
+		r, s, err = Open(cfg, committed, opts)
+	}
+	for i := 0; i < len(steps); {
+		stepErr := dApply(r, steps[i])
+		if stepErr == nil {
+			i++
+			continue
+		}
+		// Any failed step is a crash: a failed ingest was never acknowledged
+		// into the log (retried after recovery), a failed checkpoint logged
+		// nothing. Either way the incarnation dies and the next one rebuilds
+		// from disk alone.
+		for epoch, out := range r.Crash() {
+			committed[epoch] = out
+		}
+		// Close may itself hit an injected fault while sealing the WAL; the
+		// incarnation is dying anyway, so log it and move on.
+		if cerr := s.Close(); cerr != nil {
+			t.Logf("close during crash: %v", cerr)
+		}
+		for {
+			recoveries++
+			if recoveries > maxRecoveries {
+				t.Fatalf("no stable recovery after %d attempts; last: %v", maxRecoveries, stepErr)
+			}
+			r2, s2, err := Open(cfg, committed, opts)
+			if err == nil {
+				r, s = r2, s2
+				break
+			}
+		}
+	}
+	out := r.Finish()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out, recoveries
+}
+
+// TestDurableChaosSeededSchedules is the headline robustness test: seeded
+// engine-fault and disk-fault schedules run together, every incarnation is
+// rebuilt from disk only, and the merged committed output stays byte-identical
+// to the fault-free run — under full snapshots and under base+delta chains.
+//
+// Seed 58 remains the DropAfter regression: it kills an aggregate instance at
+// barrier alignment, so the dying incarnation deposits snapshots for a
+// barrier it never completes; recovery must drop those orphans or they would
+// pre-satisfy the successor's retry of the same barrier.
+func TestDurableChaosSeededSchedules(t *testing.T) {
+	steps := dSteps()
+	want := dClean(t, steps)
+
+	seeds := []int64{23, 42, 58, 11, 77}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		for _, deltaEvery := range []int{0, 3} {
+			deltaEvery := deltaEvery
+			t.Run(fmt.Sprintf("seed%d-delta%d", seed, deltaEvery), func(t *testing.T) {
+				plan := fault.RandomPlan(seed, fault.RandomConfig{
+					Ops:       []string{"src-0", "src-1", "select-0", "select-1", "join-0", "aggregate"},
+					Instances: 2, MaxTuples: 180, Barriers: 5, Batches: 30,
+					NumFaults: 3, AllowBatchFaults: true,
+				})
+				disk := fault.RandomDiskPlan(seed, fault.RandomDiskConfig{
+					NumFaults: 3, MaxWAL: 200, MaxSnap: 30, MaxManifest: 5,
+				})
+				got, recoveries := runDurableChaos(t, steps, plan, disk, deltaEvery)
+				t.Logf("seed %d delta %d: %d recoveries, engine: %v, disk: %v",
+					seed, deltaEvery, recoveries, plan.Fired(), disk.Fired())
+				assertSameOutput(t, got, want)
+			})
+		}
+	}
+}
+
+// TestDurableChaosDiskOnly isolates the disk-fault axis: no engine faults at
+// all, a dense disk schedule, and the same byte-identity bar. This pins the
+// recovery semantics of each injected kind — a torn WAL append is truncated
+// and retried, a corrupted frame never acknowledges, a lying fsync loses only
+// unacknowledged state, an unpublished manifest leaves the previous
+// checkpoint authoritative.
+func TestDurableChaosDiskOnly(t *testing.T) {
+	steps := dSteps()
+	want := dClean(t, steps)
+	for _, seed := range []int64{7, 19, 31} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			disk := fault.RandomDiskPlan(seed, fault.RandomDiskConfig{
+				NumFaults: 6, MaxWAL: 400, MaxSnap: 40, MaxManifest: 6,
+			})
+			got, recoveries := runDurableChaos(t, steps, nil, disk, 3)
+			t.Logf("seed %d: %d recoveries, disk: %v", seed, recoveries, disk.Fired())
+			assertSameOutput(t, got, want)
+		})
+	}
+}

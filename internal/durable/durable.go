@@ -1,0 +1,71 @@
+// Package durable is the crash-safe on-disk state backend for the checkpoint
+// runner: a segmented CRC32C write-ahead log for the input stream, snapshot
+// deposits committed by atomic rename, and a manifest that is the single
+// commit record for a checkpoint. A process that crashes mid-append or
+// mid-rename reopens to its latest completed checkpoint, replays the log
+// suffix, and produces byte-identical output — the paper's recovery guarantee
+// (§3.3) extended across process restarts.
+//
+// Layout under the state directory (core.Config.StateDir):
+//
+//	wal/wal-<hex first record index>.seg   framed input records
+//	snap/snap-<hex barrier>-<op>-<inst>    one snapshot deposit per instance
+//	manifest                               JSON commit record, atomic rename
+//
+// Torn-write tolerance: WAL appends and snapshot deposits are fsynced, but a
+// checkpoint exists only once the manifest referencing it is renamed into
+// place. A torn WAL tail is truncated at the first bad frame; corruption in a
+// sealed (previously fsynced) region fails open loudly. A deposit whose size
+// or CRC disagrees with the manifest is rejected and recovery falls back to
+// the previous retained checkpoint.
+package durable
+
+import (
+	"errors"
+	"fmt"
+
+	"astream/internal/checkpoint"
+	"astream/internal/core"
+)
+
+// Open opens the durable backend at cfg.StateDir and returns a recovered
+// checkpoint runner: on a fresh directory the runner starts empty, otherwise
+// it restores the latest completed checkpoint (falling back past checkpoints
+// whose deposits no longer verify) and replays the log suffix. committed maps
+// epoch → already-delivered results from previous incarnations, letting the
+// transactional sink suppress duplicate emissions; nil means deliver all.
+func Open(cfg core.Config, committed map[uint64][]string, opts Options) (*checkpoint.Runner, *Store, error) {
+	if cfg.StateDir == "" {
+		return nil, nil, errors.New("durable: core.Config.StateDir is empty")
+	}
+	s, err := OpenStore(cfg.StateDir, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := s.Recover(cfg, committed)
+	if err != nil {
+		return nil, nil, errors.Join(err, s.Close())
+	}
+	return r, s, nil
+}
+
+// Recover builds a runner from the store's persisted state. When restoring
+// the latest checkpoint fails — a deposit missing, torn, or rotted — the
+// checkpoint is invalidated (persistently, so a crash during the retry does
+// not loop) and recovery retries at the previous retained one; the runner's
+// replay then re-cuts the demoted barrier at its original log offset.
+func (s *Store) Recover(cfg core.Config, committed map[uint64][]string) (*checkpoint.Runner, error) {
+	for {
+		r, err := checkpoint.RecoverFromStore(cfg, s.wal, checkpoint.Manifest{Offsets: s.Offsets()}, committed, s)
+		if err == nil {
+			return r, nil
+		}
+		k, ok := s.LatestComplete()
+		if !ok {
+			return nil, err
+		}
+		if ierr := s.InvalidateLatest(); ierr != nil {
+			return nil, fmt.Errorf("durable: recovery at checkpoint %d failed (%v); %w", k, err, ierr)
+		}
+	}
+}

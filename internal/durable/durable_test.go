@@ -1,0 +1,444 @@
+package durable
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"astream/internal/checkpoint"
+	"astream/internal/core"
+	"astream/internal/event"
+	"astream/internal/expr"
+	"astream/internal/sqlstream"
+	"astream/internal/window"
+)
+
+// The integration tests drive a real checkpoint.Runner against the durable
+// backend: run part of a deterministic workload, kill the incarnation, reopen
+// the state directory from disk alone, resume at the cut point, and assert
+// the final committed output is byte-identical to an uninterrupted in-memory
+// run. The log suffix past the last completed checkpoint is replayed from the
+// WAL; operators restore from deposit files (full snapshots or base+delta
+// chains when SnapshotDeltaEvery is set).
+
+type dstepKind int
+
+const (
+	dSubmit dstepKind = iota
+	dStop
+	dIngest
+	dCheckpoint
+)
+
+type dstep struct {
+	kind   dstepKind
+	query  *core.Query
+	ord    int
+	stream int
+	tuple  event.Tuple
+}
+
+func dQuery(kind core.Kind) *core.Query {
+	if kind == core.KindJoin {
+		return &core.Query{Kind: core.KindJoin, Arity: 2,
+			Predicates: []expr.Predicate{expr.True(), expr.True()},
+			Window:     window.TumblingSpec(8), AggField: -1}
+	}
+	return &core.Query{Kind: core.KindAggregation, Arity: 1,
+		Predicates: []expr.Predicate{expr.True().And(expr.Comparison{Field: 0, Op: expr.GT, Value: 20})},
+		Window:     window.TumblingSpec(10), Agg: sqlstream.AggSum, AggField: 1}
+}
+
+// dSteps is the deterministic workload: 5 phases of 20 ticks on 2 streams
+// with a checkpoint per phase and a query stop at phase 2.
+func dSteps() []dstep {
+	rng := rand.New(rand.NewSource(41))
+	steps := []dstep{
+		{kind: dSubmit, query: dQuery(core.KindAggregation)},
+		{kind: dSubmit, query: dQuery(core.KindJoin)},
+	}
+	now := event.Time(0)
+	for phase := 0; phase < 5; phase++ {
+		for i := 0; i < 20; i++ {
+			now++
+			for s := 0; s < 2; s++ {
+				tu := event.Tuple{Key: int64(rng.Intn(3)), Time: now}
+				for f := range tu.Fields {
+					tu.Fields[f] = int64(rng.Intn(100))
+				}
+				steps = append(steps, dstep{kind: dIngest, stream: s, tuple: tu})
+			}
+		}
+		if phase == 2 {
+			steps = append(steps, dstep{kind: dStop, ord: 1})
+		}
+		steps = append(steps, dstep{kind: dCheckpoint})
+	}
+	return steps
+}
+
+func dApply(r *checkpoint.Runner, s dstep) error {
+	switch s.kind {
+	case dSubmit:
+		return r.Submit(s.query)
+	case dStop:
+		return r.StopOrdinal(s.ord)
+	case dIngest:
+		return r.Ingest(s.stream, s.tuple)
+	default:
+		_, err := r.Checkpoint()
+		return err
+	}
+}
+
+func dConfig(dir string, deltaEvery int) core.Config {
+	return core.Config{
+		Streams: 2, Parallelism: 2, Nodes: 2, WatermarkEvery: 1,
+		NowNanos:           func() int64 { return 1 },
+		StateDir:           dir,
+		SnapshotDeltaEvery: deltaEvery,
+	}
+}
+
+// dClean is the uninterrupted in-memory reference run.
+func dClean(t *testing.T, steps []dstep) []string {
+	t.Helper()
+	r, err := checkpoint.NewRunner(dConfig("", 0), &checkpoint.Log{}, checkpoint.NewTxSink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range steps {
+		if err := dApply(r, s); err != nil {
+			t.Fatalf("clean step %d: %v", i, err)
+		}
+	}
+	out := r.Finish()
+	if len(out) == 0 {
+		t.Fatal("clean run produced nothing")
+	}
+	return out
+}
+
+func assertSameOutput(t *testing.T, got, want []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("committed output diverged: %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("committed result %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// runDurableWithRestarts drives steps against the durable backend, killing
+// the incarnation at each index in cuts (crash + Store.Close, the in-process
+// stand-in for the process dying) and reopening from disk alone.
+func runDurableWithRestarts(t *testing.T, dir string, deltaEvery int, steps []dstep, cuts []int) []string {
+	t.Helper()
+	cfg := dConfig(dir, deltaEvery)
+	r, s, err := Open(cfg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	committed := map[uint64][]string{}
+	next := 0
+	for _, cut := range cuts {
+		for ; next < cut; next++ {
+			if err := dApply(r, steps[next]); err != nil {
+				t.Fatalf("step %d: %v", next, err)
+			}
+		}
+		for epoch, out := range r.Crash() {
+			committed[epoch] = out
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		r, s, err = Open(cfg, committed, Options{})
+		if err != nil {
+			t.Fatalf("reopen at step %d: %v", cut, err)
+		}
+	}
+	for ; next < len(steps); next++ {
+		if err := dApply(r, steps[next]); err != nil {
+			t.Fatalf("step %d: %v", next, err)
+		}
+	}
+	out := r.Finish()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestDurableRestartResumesByteIdentical(t *testing.T) {
+	steps := dSteps()
+	want := dClean(t, steps)
+	// Cut mid-phase (suffix replay from the WAL) and right after a
+	// checkpoint, for both full-only and incremental snapshots.
+	for _, deltaEvery := range []int{0, 3} {
+		t.Run(fmt.Sprintf("deltaEvery%d", deltaEvery), func(t *testing.T) {
+			cuts := []int{len(steps) / 3, 2 * len(steps) / 3}
+			got := runDurableWithRestarts(t, t.TempDir(), deltaEvery, steps, cuts)
+			assertSameOutput(t, got, want)
+		})
+	}
+}
+
+// dStepsWide is the workload for the delta-size bound: a second aggregation
+// over a window far longer than the run keeps every shared slice alive (a
+// slice serving an unfired window cannot evict), so the slice ring grows all
+// run and a barrier interval dirties only its newest few slices.
+func dStepsWide() []dstep {
+	long := dQuery(core.KindAggregation)
+	long.Window = window.TumblingSpec(500)
+	rng := rand.New(rand.NewSource(43))
+	steps := []dstep{
+		{kind: dSubmit, query: dQuery(core.KindAggregation)},
+		{kind: dSubmit, query: long},
+	}
+	now := event.Time(0)
+	for phase := 0; phase < 8; phase++ {
+		for i := 0; i < 20; i++ {
+			now++
+			for s := 0; s < 2; s++ {
+				tu := event.Tuple{Key: int64(rng.Intn(3)), Time: now}
+				for f := range tu.Fields {
+					tu.Fields[f] = int64(rng.Intn(100))
+				}
+				steps = append(steps, dstep{kind: dIngest, stream: s, tuple: tu})
+			}
+		}
+		steps = append(steps, dstep{kind: dCheckpoint})
+	}
+	return steps
+}
+
+// TestDurableDeltaChainsOnDisk asserts the incremental path actually persists
+// deltas: deposits are classified by their leading byte, delta deposits are
+// materially smaller than their full base, chains resolve through FetchChain,
+// and a restore through a base+delta chain equals a full-snapshot restore.
+func TestDurableDeltaChainsOnDisk(t *testing.T) {
+	steps := dStepsWide()
+	want := dClean(t, steps)
+	dir := t.TempDir()
+	cfg := dConfig(dir, 3)
+	r, s, err := Open(cfg, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range steps {
+		if err := dApply(r, st); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+
+	// Eight checkpoints at fullEvery=3 give the aggregation the chain shape
+	// F d d F d d F d: barrier 8 is a delta anchored at barrier 7's full
+	// snapshot, and the manifest retains both.
+	k, ok := s.LatestComplete()
+	if !ok || k != 8 {
+		t.Fatalf("LatestComplete = %d,%v, want 8", k, ok)
+	}
+	var aggOp string
+	aggInst := -1
+	var fullSize, deltaSize int64
+	deltas := 0
+	s.mu.Lock()
+	for _, mb := range s.man.Barriers {
+		for _, d := range mb.Deposits {
+			if !strings.HasPrefix(d.Op, "aggregate") {
+				continue
+			}
+			if d.Delta {
+				deltas++
+				deltaSize = d.Size
+				if mb.Barrier == k {
+					aggOp, aggInst = d.Op, d.Instance
+				}
+			} else {
+				fullSize = d.Size
+			}
+		}
+	}
+	s.mu.Unlock()
+	if deltas == 0 {
+		t.Fatal("no delta deposit retained in the manifest")
+	}
+	if aggInst < 0 {
+		t.Fatalf("no aggregation delta deposit at the latest barrier %d", k)
+	}
+	if fullSize == 0 || deltaSize == 0 || deltaSize*2 > fullSize {
+		t.Fatalf("delta deposit %dB vs full %dB: delta must persist only dirtied slices", deltaSize, fullSize)
+	}
+	chain, ok := s.FetchChain(k, aggOp, aggInst)
+	if !ok || len(chain) != 2 {
+		t.Fatalf("chain at barrier %d has %d links, want base+delta", k, len(chain))
+	}
+	committed := r.Crash()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Chain restore vs full restore: reopen the same directory once as-is
+	// (base+delta) and once with deltas disabled going forward; both resumed
+	// runners must finish with output identical to the clean run.
+	r2, s2, err := Open(cfg, committed, Options{})
+	if err != nil {
+		t.Fatalf("chain restore: %v", err)
+	}
+	assertSameOutput(t, r2.Finish(), want)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDurableCorruptLatestFallsBack: when the newest checkpoint's deposits
+// rot on disk, recovery demotes it and restores its predecessor, then re-cuts
+// the demoted barrier at the same log offset during replay — output stays
+// byte-identical.
+func TestDurableCorruptLatestFallsBack(t *testing.T) {
+	steps := dSteps()
+	want := dClean(t, steps)
+	for _, tc := range []struct {
+		name   string
+		damage func([]byte) []byte
+	}{
+		{"bad-crc", func(b []byte) []byte { b[len(b)/2] ^= 0xFF; return b }},
+		{"trailing-bytes", func(b []byte) []byte { return append(b, 0xEE) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			cfg := dConfig(dir, 0)
+			r, s, err := Open(cfg, nil, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cut := 2 * len(steps) / 3
+			for i := 0; i < cut; i++ {
+				if err := dApply(r, steps[i]); err != nil {
+					t.Fatalf("step %d: %v", i, err)
+				}
+			}
+			committed := r.Crash()
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+			k, ok := s.LatestComplete()
+			if !ok || k < 2 {
+				t.Fatalf("need >= 2 completed checkpoints, have %d", k)
+			}
+			if err := damageDeposit(dir, fmt.Sprintf("snap-%016x-aggregate", k), tc.damage); err != nil {
+				t.Fatal(err)
+			}
+			r2, s2, err := Open(cfg, committed, Options{})
+			if err != nil {
+				t.Fatalf("recovery with damaged latest: %v", err)
+			}
+			// The rotten checkpoint was demoted persistently, then re-cut
+			// during replay at its original offset.
+			if k2, ok := s2.LatestComplete(); !ok || k2 != k {
+				t.Fatalf("latest = %d,%v after fallback+replay, want %d re-cut", k2, ok, k)
+			}
+			for i := cut; i < len(steps); i++ {
+				if err := dApply(r2, steps[i]); err != nil {
+					t.Fatalf("post-recovery step %d: %v", i, err)
+				}
+			}
+			assertSameOutput(t, r2.Finish(), want)
+			if err := s2.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// testHook is a programmable fault hook for targeted crash tests.
+type testHook struct {
+	beforeWrite  func(path string, b []byte) ([]byte, error)
+	beforeSync   func(path string) error
+	beforeRename func(from, to string) error
+}
+
+func (h *testHook) BeforeWrite(path string, b []byte) ([]byte, error) {
+	if h.beforeWrite != nil {
+		return h.beforeWrite(path, b)
+	}
+	return b, nil
+}
+
+func (h *testHook) BeforeSync(path string) error {
+	if h.beforeSync != nil {
+		return h.beforeSync(path)
+	}
+	return nil
+}
+
+func (h *testHook) BeforeRename(from, to string) error {
+	if h.beforeRename != nil {
+		return h.beforeRename(from, to)
+	}
+	return nil
+}
+
+// TestDurableCrashBeforeManifestRename: a crash after the manifest temp file
+// is written but before the rename publishes it must leave the previous
+// checkpoint authoritative; the interrupted one is re-cut on replay.
+func TestDurableCrashBeforeManifestRename(t *testing.T) {
+	steps := dSteps()
+	want := dClean(t, steps)
+	dir := t.TempDir()
+
+	marks := 0
+	hook := &testHook{beforeRename: func(from, to string) error {
+		if strings.HasSuffix(to, manifestName) {
+			marks++
+			if marks == 3 {
+				return ErrInjectedCrash
+			}
+		}
+		return nil
+	}}
+	cfg := dConfig(dir, 0)
+	r, s, err := Open(cfg, nil, Options{Hook: hook})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i, crashed := 0, false
+	for ; i < len(steps); i++ {
+		if err := dApply(r, steps[i]); err != nil {
+			if steps[i].kind != dCheckpoint || !strings.Contains(err.Error(), "injected crash") {
+				t.Fatalf("step %d failed unexpectedly: %v", i, err)
+			}
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("injected rename crash never fired")
+	}
+	committed := r.Crash()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, s2, err := Open(cfg, committed, Options{})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if k, ok := s2.LatestComplete(); !ok || k != 2 {
+		t.Fatalf("latest after unpublished third mark = %d,%v, want the 2 published ones plus replay re-cut", k, ok)
+	}
+	// The failed checkpoint step is retried (it logged nothing).
+	for ; i < len(steps); i++ {
+		if err := dApply(r2, steps[i]); err != nil {
+			t.Fatalf("post-recovery step %d: %v", i, err)
+		}
+	}
+	assertSameOutput(t, r2.Finish(), want)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

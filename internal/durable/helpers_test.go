@@ -1,0 +1,42 @@
+package durable
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// readSnapNames lists the deposit files under dir's snapshot directory.
+func readSnapNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(dir, snapDirName))
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names, nil
+}
+
+// damageDeposit rewrites the first snapshot file whose name has the prefix,
+// applying damage to its bytes.
+func damageDeposit(dir, prefix string, damage func([]byte) []byte) error {
+	names, err := readSnapNames(dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		path := filepath.Join(dir, snapDirName, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(path, damage(data), 0o644)
+	}
+	return fmt.Errorf("no deposit with prefix %q", prefix)
+}

@@ -1,0 +1,31 @@
+package durable
+
+import "errors"
+
+// Hook intercepts the backend's disk operations for deterministic fault
+// injection (tests only; nil in production). Every mutation the backend
+// performs — frame appends, snapshot deposits, manifest rewrites — funnels
+// through one of these three seams, so a test can simulate torn writes,
+// lying fsyncs, and crashes between prepare and commit without patching the
+// filesystem.
+type Hook interface {
+	// BeforeWrite is consulted with the bytes about to be written to path.
+	// The returned bytes are written instead — a fault may shorten them
+	// (torn write) or flip them (media corruption) — and a non-nil error
+	// surfaces after the write, simulating a process that crashed having
+	// already damaged the medium.
+	BeforeWrite(path string, b []byte) ([]byte, error)
+	// BeforeSync runs before fsync of path. An error simulates a crash at
+	// the fsync: bytes written above may or may not have reached the disk.
+	BeforeSync(path string) error
+	// BeforeRename runs before an atomic-commit rename. An error simulates
+	// a crash with the temp file fully written but never published.
+	BeforeRename(from, to string) error
+}
+
+// ErrInjectedCrash is the sentinel a fault hook returns to simulate a
+// process crash at the hooked operation. The backend does not treat it
+// specially — any hook error aborts the operation and surfaces to the
+// caller — but tests assert on it to tell injected crashes from real I/O
+// failures.
+var ErrInjectedCrash = errors.New("durable: injected crash")

@@ -1,0 +1,153 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestMarkCompleteRefusesIncompleteBarrier pins the deposit/mark ordering
+// contract: a completion mark is only committable once every expected
+// (op, instance) deposit, the control blob, and the covered offset are in. A
+// mark published early would name a checkpoint recovery cannot restore.
+func TestMarkCompleteRefusesIncompleteBarrier(t *testing.T) {
+	s, err := OpenStore(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkComplete(1); err == nil || !strings.Contains(err.Error(), "awaited") {
+		t.Fatalf("mark before await accepted: %v", err)
+	}
+
+	gate := s.NewGate()
+	gate.OnSnapshot("agg", 0, 1, []byte{1, 2, 3})
+	// Arm the expectation at two deposits while only one arrived: fail the
+	// wait so Await returns without blocking, then try to mark.
+	s.Fail(errors.New("instance died"))
+	if err := s.Await(1, 2); err == nil {
+		t.Fatal("await did not surface the failure")
+	}
+	s.ClearFailure()
+	if err := s.MarkComplete(1); err == nil || !strings.Contains(err.Error(), "1 of 2 expected deposits") {
+		t.Fatalf("mark with missing deposit accepted: %v", err)
+	}
+
+	gate.OnSnapshot("agg", 1, 1, []byte{4, 5, 6})
+	if err := s.Await(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkComplete(1); err == nil || !strings.Contains(err.Error(), "control") {
+		t.Fatalf("mark without control snapshot accepted: %v", err)
+	}
+	s.SetControl(1, []byte{9})
+	if err := s.MarkComplete(1); err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("mark without covered offset accepted: %v", err)
+	}
+	s.NoteOffset(1, 0)
+	if err := s.MarkComplete(1); err != nil {
+		t.Fatalf("complete barrier refused: %v", err)
+	}
+	if k, ok := s.LatestComplete(); !ok || k != 1 {
+		t.Fatalf("LatestComplete = %d,%v after mark", k, ok)
+	}
+}
+
+// TestStoreSurvivesReopen: a completed checkpoint written by one store
+// incarnation is fully readable by the next, and unreferenced deposits from a
+// never-completed barrier are swept on DropAfter.
+func TestStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := s.NewGate()
+	gate.OnSnapshot("agg", 0, 1, []byte{1, 10, 20})
+	if err := s.Await(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.SetControl(1, []byte{0xC0})
+	for i := 0; i < 5; i++ {
+		if _, err := s.WAL().Append(walRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.NoteOffset(1, 5)
+	if err := s.MarkComplete(1); err != nil {
+		t.Fatal(err)
+	}
+	// An orphan: deposited for barrier 2, never completed.
+	gate.OnSnapshot("agg", 0, 2, []byte{1, 99})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenStore(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k, ok := s2.LatestComplete(); !ok || k != 1 {
+		t.Fatalf("LatestComplete = %d,%v across reopen", k, ok)
+	}
+	chain, ok := s2.FetchChain(1, "agg", 0)
+	if !ok || len(chain) != 1 || !bytes.Equal(chain[0], []byte{1, 10, 20}) {
+		t.Fatalf("FetchChain across reopen = %v,%v", chain, ok)
+	}
+	ctrl, ok := s2.Control(1)
+	if !ok || !bytes.Equal(ctrl, []byte{0xC0}) {
+		t.Fatalf("Control across reopen = %v,%v", ctrl, ok)
+	}
+	if got := s2.Offsets(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("Offsets across reopen = %v", got)
+	}
+	if _, ok := s2.FetchChain(2, "agg", 0); ok {
+		t.Fatal("never-completed barrier resolvable after reopen")
+	}
+	s2.DropAfter(1)
+	files := segFiles(t, dir) // reuse helper; also count snap files directly
+	_ = files
+	entries, err := readSnapNames(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("orphan sweep left %v", entries)
+	}
+}
+
+// TestFetchChainRejectsDamagedDeposits: a deposit that rotted (CRC) or grew
+// (trailing bytes) fails chain resolution so recovery falls back.
+func TestFetchChainRejectsDamagedDeposits(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		damage func([]byte) []byte
+	}{
+		{"flipped-byte", func(b []byte) []byte { b[1] ^= 0xFF; return b }},
+		{"trailing-bytes", func(b []byte) []byte { return append(b, 0xEE, 0xEE) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := OpenStore(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			gate := s.NewGate()
+			gate.OnSnapshot("agg", 0, 1, []byte{1, 10, 20, 30})
+			if err := s.Await(1, 1); err != nil {
+				t.Fatal(err)
+			}
+			s.SetControl(1, []byte{0xC0})
+			s.NoteOffset(1, 0)
+			if err := s.MarkComplete(1); err != nil {
+				t.Fatal(err)
+			}
+			if err := damageDeposit(dir, "snap-", tc.damage); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := s.FetchChain(1, "agg", 0); ok {
+				t.Fatal("damaged deposit resolved")
+			}
+		})
+	}
+}

@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// This file extends the chaos toolkit below the durability line: a DiskPlan
+// is a seeded, replayable schedule of disk faults — torn writes, corrupted
+// frames, lying fsyncs, crashes between prepare and rename — injected through
+// the durable backend's Hook seam. Like Plan, all randomness is consumed at
+// construction; during a run the plan is a pure lookup table, and fired
+// one-shot ops stay fired across incarnations.
+
+// DiskOpKind enumerates the injectable disk fault types.
+type DiskOpKind int
+
+const (
+	// TornWriteAt writes only a prefix of the N-th matching write, then
+	// crashes — the classic torn append the WAL tail scan must absorb.
+	TornWriteAt DiskOpKind = iota
+	// CorruptCRC writes the N-th matching write with a flipped byte, then
+	// crashes — the frame lands whole but its checksum cannot verify.
+	CorruptCRC
+	// ShortFsync crashes at the N-th matching fsync: everything written
+	// above it is in the page cache, nothing is promised durable.
+	ShortFsync
+	// CrashBeforeRename crashes with the N-th matching temp file fully
+	// written but never renamed into place — the commit never happened.
+	CrashBeforeRename
+)
+
+func (k DiskOpKind) String() string {
+	switch k {
+	case TornWriteAt:
+		return "torn-write"
+	case CorruptCRC:
+		return "corrupt-crc"
+	case ShortFsync:
+		return "short-fsync"
+	case CrashBeforeRename:
+		return "crash-before-rename"
+	default:
+		return fmt.Sprintf("disk-kind(%d)", int(k))
+	}
+}
+
+// DiskTarget selects which backend files an op applies to, classified by
+// basename prefix the way the durable layout names them.
+type DiskTarget int
+
+const (
+	TargetAny DiskTarget = iota
+	TargetWAL             // wal-*.seg segment files
+	TargetSnap            // snap-* deposit files (and their temp files)
+	TargetManifest        // the manifest (and its temp file)
+)
+
+func (t DiskTarget) String() string {
+	switch t {
+	case TargetWAL:
+		return "wal"
+	case TargetSnap:
+		return "snap"
+	case TargetManifest:
+		return "manifest"
+	default:
+		return "any"
+	}
+}
+
+func classifyPath(path string) DiskTarget {
+	base := filepath.Base(path)
+	switch {
+	case strings.HasPrefix(base, "wal-"):
+		return TargetWAL
+	case strings.HasPrefix(base, "snap-"):
+		return TargetSnap
+	case strings.HasPrefix(base, "manifest"):
+		return TargetManifest
+	default:
+		return TargetAny
+	}
+}
+
+// DiskOp is one scheduled disk fault: fire on the N-th operation of the
+// kind's class (write, sync, or rename) against the target.
+type DiskOp struct {
+	Kind   DiskOpKind
+	Target DiskTarget
+	N      int // 1-based ordinal within (class, target)
+}
+
+func (o DiskOp) String() string {
+	return fmt.Sprintf("%v %v n=%d", o.Kind, o.Target, o.N)
+}
+
+// opClass groups hook entry points for counting.
+type opClass int
+
+const (
+	classWrite opClass = iota
+	classSync
+	classRename
+)
+
+type diskCountKey struct {
+	class  opClass
+	target DiskTarget
+}
+
+// DiskPlan is a deterministic disk fault schedule satisfying durable.Hook
+// (structurally — this package stays below durable in the import graph).
+// Safe for concurrent use (deposit writes come from instance goroutines) and
+// shared across incarnations.
+type DiskPlan struct {
+	mu       sync.Mutex
+	ops      []DiskOp
+	fired    []bool
+	counts   map[diskCountKey]int
+	firedLog []string
+}
+
+// NewDiskPlan builds a plan from an explicit schedule.
+func NewDiskPlan(ops ...DiskOp) *DiskPlan {
+	return &DiskPlan{
+		ops:    append([]DiskOp(nil), ops...),
+		fired:  make([]bool, len(ops)),
+		counts: map[diskCountKey]int{},
+	}
+}
+
+// RandomDiskConfig bounds the schedule RandomDiskPlan draws. The per-target
+// maxima reflect how often each file class is touched: WAL writes happen per
+// record, snapshot writes per (checkpoint × instance), manifest operations
+// once per checkpoint.
+type RandomDiskConfig struct {
+	NumFaults   int
+	MaxWAL      int // WAL op ordinals drawn from [1, MaxWAL]
+	MaxSnap     int // snapshot op ordinals drawn from [1, MaxSnap]
+	MaxManifest int // manifest op ordinals drawn from [1, MaxManifest]
+}
+
+// RandomDiskPlan draws a schedule from the seeded generator; the generator is
+// consumed here and only here, so equal seeds replay identically. Ops that
+// never come due (e.g. a rename fault aimed at the WAL, which is never
+// renamed) are kept as controls: a plan that does not fire must not perturb
+// output either.
+func RandomDiskPlan(seed int64, c RandomDiskConfig) *DiskPlan {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []DiskOpKind{TornWriteAt, CorruptCRC, ShortFsync, CrashBeforeRename}
+	targets := []DiskTarget{TargetWAL, TargetSnap, TargetManifest}
+	ops := make([]DiskOp, 0, c.NumFaults)
+	for i := 0; i < c.NumFaults; i++ {
+		o := DiskOp{Kind: kinds[rng.Intn(len(kinds))], Target: targets[rng.Intn(len(targets))]}
+		switch o.Target {
+		case TargetWAL:
+			o.N = 1 + rng.Intn(max(1, c.MaxWAL))
+		case TargetSnap:
+			o.N = 1 + rng.Intn(max(1, c.MaxSnap))
+		default:
+			o.N = 1 + rng.Intn(max(1, c.MaxManifest))
+		}
+		ops = append(ops, o)
+	}
+	return NewDiskPlan(ops...)
+}
+
+// Ops returns a copy of the schedule.
+func (p *DiskPlan) Ops() []DiskOp {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]DiskOp(nil), p.ops...)
+}
+
+// Fired returns a description of every injection that has fired, in order.
+func (p *DiskPlan) Fired() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.firedLog...)
+}
+
+// due advances the counters for one (class, target) event and returns the
+// first unfired op that comes due, marking it fired. Requires p.mu held.
+func (p *DiskPlan) due(class opClass, target DiskTarget, path string) *DiskOp {
+	if target != TargetAny {
+		p.counts[diskCountKey{class: class, target: target}]++
+	}
+	p.counts[diskCountKey{class: class, target: TargetAny}]++
+	for i := range p.ops {
+		o := &p.ops[i]
+		if p.fired[i] || o.Kind.class() != class {
+			continue
+		}
+		if o.Target != TargetAny && o.Target != target {
+			continue
+		}
+		if p.counts[diskCountKey{class: class, target: o.Target}] != o.N {
+			continue
+		}
+		p.fired[i] = true
+		p.firedLog = append(p.firedLog, fmt.Sprintf("%v fired at %s", *o, filepath.Base(path)))
+		return o
+	}
+	return nil
+}
+
+func (k DiskOpKind) class() opClass {
+	switch k {
+	case TornWriteAt, CorruptCRC:
+		return classWrite
+	case ShortFsync:
+		return classSync
+	default:
+		return classRename
+	}
+}
+
+// BeforeWrite implements durable.Hook: tear or corrupt a due write, then
+// report the crash.
+func (p *DiskPlan) BeforeWrite(path string, b []byte) ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	o := p.due(classWrite, classifyPath(path), path)
+	if o == nil {
+		return b, nil
+	}
+	switch o.Kind {
+	case TornWriteAt:
+		return b[:len(b)/2], fmt.Errorf("injected disk crash: %v", *o)
+	default: // CorruptCRC
+		bad := append([]byte(nil), b...)
+		if len(bad) > 0 {
+			bad[len(bad)-1] ^= 0xA5
+		}
+		return bad, fmt.Errorf("injected disk crash: %v", *o)
+	}
+}
+
+// BeforeSync implements durable.Hook: crash at a due fsync.
+func (p *DiskPlan) BeforeSync(path string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if o := p.due(classSync, classifyPath(path), path); o != nil {
+		return fmt.Errorf("injected disk crash: %v", *o)
+	}
+	return nil
+}
+
+// BeforeRename implements durable.Hook: crash before a due rename publishes.
+func (p *DiskPlan) BeforeRename(from, to string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if o := p.due(classRename, classifyPath(to), to); o != nil {
+		return fmt.Errorf("injected disk crash: %v", *o)
+	}
+	return nil
+}

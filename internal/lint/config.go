@@ -12,11 +12,15 @@ package lint
 // scope names the runtime packages whose goroutines must enter through the
 // panic-capturing supervisor, so no operator panic can kill the process.
 // The state scope names the packages whose Snapshot/Restore pairs the
-// state-integrity analyzers (snapcover, errsink, snapshot-symmetry) audit
-// before any of that state goes durable. The lifetime analyzers (poolsafe,
-// aliasescape, scratchlocal) run module-wide: their registry is opt-in —
-// a package with no //lint:pooled directive early-outs for free — so
-// scoping would only exempt future pooled subsystems from the audit.
+// state-integrity analyzers (snapcover, snapshot-symmetry) audit before
+// any of that state goes durable. The errsink scope is the state scope
+// plus internal/durable: a dropped fsync or Close error on the durable
+// path is precisely the silent data loss the backend exists to prevent —
+// an unchecked Sync means the manifest may reference bytes the kernel
+// never promised. The lifetime analyzers (poolsafe, aliasescape,
+// scratchlocal) run module-wide: their registry is opt-in — a package
+// with no //lint:pooled directive early-outs for free — so scoping would
+// only exempt future pooled subsystems from the audit.
 func ModuleAnalyzers(modPath string) []*Analyzer {
 	wallclockAllow := []string{
 		modPath + "/internal/metrics",
@@ -33,6 +37,10 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		modPath + "/internal/core",
 		modPath + "/internal/spe",
 		modPath + "/internal/cluster",
+		// The durable manifest is itself a deterministic encoding: equal
+		// store states must serialize to byte-identical manifests or the
+		// chaos tests' byte-identity bar is unverifiable.
+		modPath + "/internal/durable",
 		// The linter's own output must be deterministic too (the CI
 		// self-check runs astream-vet over internal/lint).
 		modPath + "/internal/lint",
@@ -46,6 +54,9 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		modPath + "/internal/checkpoint",
 		modPath + "/internal/changelog",
 	}
+	errsinkScope := append(append([]string(nil), stateScope...),
+		modPath+"/internal/durable",
+	)
 	return []*Analyzer{
 		NewWallclock(wallclockAllow),
 		NewLockHeldSend(),
@@ -55,7 +66,7 @@ func ModuleAnalyzers(modPath string) []*Analyzer {
 		NewNakedAtomic(),
 		NewSupervisedGo(supervisedScope),
 		NewSnapCover(stateScope),
-		NewErrSink(stateScope),
+		NewErrSink(errsinkScope),
 		NewSnapSymmetry(stateScope),
 		NewPoolSafe(nil),
 		NewAliasEscape(nil),

@@ -55,6 +55,59 @@ func inLiteral() {
 	f()
 }
 
+// --- durable-path shapes: fsync and close errors are load-bearing ---
+
+// file mimics the durable backend's handle: Sync and Close both report
+// whether the kernel actually promised the bytes.
+type file struct{}
+
+func (file) Sync() error  { return errBoom }
+func (file) Close() error { return errBoom }
+
+// droppedSync: an unchecked fsync means the manifest may reference bytes
+// the kernel never promised durable.
+func droppedSync(f file) {
+	f.Sync() // want "call to f.Sync drops its error result"
+}
+
+// droppedClose: a deferred Close whose error vanishes loses the last
+// flush's verdict.
+func droppedClose(f file) {
+	defer f.Close() // want "deferred call to f.Close drops its error result"
+}
+
+// discardedSync: explicitly blanking the fsync error is the same bug with
+// a paper trail.
+func discardedSync(f file) {
+	_ = f.Sync() // want "error result of f.Sync is discarded"
+}
+
+// syncThenCloseOverwrite: the Close error clobbers an unchecked Sync
+// error — the torn write the Sync reported is silently forgotten.
+func syncThenCloseOverwrite(f file) error {
+	err := f.Sync()
+	err = f.Close() // want "err is reassigned before the error assigned at line \d+ is checked"
+	return err
+}
+
+// syncJoinedClose is the clean idiom the durable backend uses: every
+// error path joins the Close verdict instead of dropping it.
+func syncJoinedClose(f file) error {
+	if err := f.Sync(); err != nil {
+		return join(err, f.Close())
+	}
+	return f.Close()
+}
+
+func join(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
 // --- clean shapes the analyzer must stay silent on ---
 
 // checked is the straight-line idiom.

@@ -23,10 +23,11 @@ type Job struct {
 type DeployOption func(*deployConfig)
 
 type deployConfig struct {
-	codec    EdgeCodec
-	snapSink SnapshotSink
-	failSink FailureSink
-	hook     FaultHook
+	codec      EdgeCodec
+	snapSink   SnapshotSink
+	failSink   FailureSink
+	hook       FaultHook
+	deltaEvery int
 }
 
 // WithEdgeCodec installs a codec applied to every element crossing cluster
@@ -51,6 +52,15 @@ func WithFailureSink(s FailureSink) DeployOption {
 // instance and exchange emitter (tests only; nil in production).
 func WithFaultHook(h FaultHook) DeployOption {
 	return func(d *deployConfig) { d.hook = h }
+}
+
+// WithDeltaSnapshots enables incremental snapshots: logics implementing
+// DeltaSnapshotter take snapshots through OnBarrierDelta, emitting a full
+// snapshot at most every n barriers and deltas in between. n <= 1 disables
+// deltas (every barrier is a full snapshot). The snapshot sink must be able
+// to resolve base+delta chains (see checkpoint.BackendHooks.SupportsDeltas).
+func WithDeltaSnapshots(n int) DeployOption {
+	return func(d *deployConfig) { d.deltaEvery = n }
 }
 
 // Deploy validates the topology, plans operator chains, builds every
@@ -116,6 +126,7 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 			rt.snapSink = cfg.snapSink
 			rt.failSink = cfg.failSink
 			rt.hook = cfg.hook
+			rt.deltaEvery = cfg.deltaEvery
 			rts[i] = rt
 		}
 		j.insts[n] = rts
@@ -137,6 +148,7 @@ func Deploy(t *Topology, opts ...DeployOption) (*Job, error) {
 			rt.snapSink = cfg.snapSink
 			rt.failSink = cfg.failSink
 			rt.hook = cfg.hook
+			rt.deltaEvery = cfg.deltaEvery
 			rts[i] = rt
 		}
 		embedded[n] = rts

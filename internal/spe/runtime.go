@@ -445,9 +445,10 @@ type instanceRT struct {
 	inbox    chan message // nil for chains embedded in a source (see SourceContext)
 	senders  int
 	emitter  *Emitter // the chain tail's exchange emitter
-	snapSink SnapshotSink
-	failSink FailureSink // nil: failures re-panic (bare deployments stay fail-fast)
-	hook     FaultHook   // nil in production
+	snapSink   SnapshotSink
+	failSink   FailureSink // nil: failures re-panic (bare deployments stay fail-fast)
+	hook       FaultHook   // nil in production
+	deltaEvery int         // >1: DeltaSnapshotter logics snapshot incrementally
 
 	wms        []event.Time // per-sender watermark
 	done       []bool       // per-sender EOS
@@ -709,7 +710,12 @@ func (rt *instanceRT) completeBarrier(id uint64) error {
 	}
 	for i := range rt.members {
 		m := &rt.members[i]
-		state := m.logic.OnBarrier(id, m.out)
+		var state []byte
+		if ds, ok := m.logic.(DeltaSnapshotter); ok && rt.deltaEvery > 1 {
+			state = ds.OnBarrierDelta(id, m.out, rt.deltaEvery)
+		} else {
+			state = m.logic.OnBarrier(id, m.out)
+		}
 		if rt.snapSink != nil {
 			rt.snapSink.OnSnapshot(m.node.name, rt.instance, id, state)
 		}
